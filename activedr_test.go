@@ -1,0 +1,130 @@
+package activedr_test
+
+import (
+	"testing"
+	"time"
+
+	"activedr"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as the README
+// quickstart does: generate traces, evaluate activeness, run one
+// purge pass, and replay the year under both policies.
+func TestFacadeEndToEnd(t *testing.T) {
+	ds, err := activedr.Generate(activedr.SynthConfig{Seed: 21, Users: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Users) != 250 {
+		t.Fatalf("users = %d", len(ds.Users))
+	}
+
+	// Activeness evaluation via the facade.
+	ev := activedr.NewEvaluator(activedr.Days(90))
+	jobs := ev.AddType("job-submission", activedr.Operation)
+	pubs := ev.AddType("publication", activedr.Outcome)
+	ev.RecordJobs(jobs, ds.Jobs)
+	ev.RecordPublications(pubs, ds.Publications)
+	tc := activedr.Date(2016, time.June, 1)
+	ranks := ev.EvaluateAll(len(ds.Users), tc)
+	if len(ranks) != 250 {
+		t.Fatalf("ranks = %d", len(ranks))
+	}
+
+	// One manual retention pass on the snapshot.
+	fsys, err := activedr.FromSnapshot(&ds.Snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adr, err := activedr.NewActiveDR(activedr.RetentionConfig{
+		Lifetime:          activedr.Days(90),
+		Capacity:          fsys.TotalBytes(),
+		TargetUtilization: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := adr.Purge(fsys, ranks, tc)
+	if rep.PurgedBytes == 0 {
+		t.Fatal("purge pass freed nothing on a 6-month-old snapshot")
+	}
+	if rep.RetainedBytes() != fsys.TotalBytes() {
+		t.Fatal("report inconsistent with file system state")
+	}
+
+	// Full-year comparison.
+	em, err := activedr.NewEmulator(ds, activedr.SimConfig{TargetUtilization: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := em.RunComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.FLT.TotalAccesses != cmp.ActiveDR.TotalAccesses {
+		t.Fatal("policies saw different access streams")
+	}
+}
+
+func TestFacadeFacilities(t *testing.T) {
+	fs := activedr.Facilities()
+	if len(fs) != 4 {
+		t.Fatalf("facilities = %d", len(fs))
+	}
+	var olcf activedr.Facility
+	for _, f := range fs {
+		if f.Name == "OLCF" {
+			olcf = f
+		}
+	}
+	if olcf.Lifetime != activedr.Days(90) {
+		t.Fatalf("OLCF lifetime = %v", olcf.Lifetime)
+	}
+}
+
+func TestFacadeReservedSet(t *testing.T) {
+	rs := activedr.NewReservedSet()
+	rs.Add("/lustre/atlas/u1/keep")
+	if !rs.Covers("/lustre/atlas/u1/keep/file") {
+		t.Fatal("reservation not honored through facade")
+	}
+}
+
+func TestFacadeDatasetRoundTrip(t *testing.T) {
+	ds, err := activedr.Generate(activedr.SynthConfig{Seed: 5, Users: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := activedr.WriteDataset(dir, ds); err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := activedr.LoadDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds2.Jobs) != len(ds.Jobs) || len(ds2.Accesses) != len(ds.Accesses) {
+		t.Fatal("dataset round trip lost records")
+	}
+}
+
+func TestFacadePlanPurgeAndArchive(t *testing.T) {
+	fsys := activedr.NewFS()
+	old := activedr.Date(2015, time.January, 1)
+	if err := fsys.Insert("/u/x/stale.dat", activedr.FileMeta{User: 0, Size: 4e9, ATime: old}); err != nil {
+		t.Fatal(err)
+	}
+	flt := &activedr.FLT{Lifetime: activedr.Days(90)}
+	rep := activedr.PlanPurge(flt, fsys, nil, activedr.Date(2016, time.June, 1))
+	if len(rep.Victims) != 1 || !fsys.Contains("/u/x/stale.dat") {
+		t.Fatalf("dry run wrong: victims=%v", rep.Victims)
+	}
+	models := activedr.ArchiveModels()
+	if len(models) == 0 {
+		t.Fatal("no archive models")
+	}
+	var m activedr.ArchiveModel = models[0]
+	if m.RestoreTime(1, 1e9) <= 0 {
+		t.Fatal("restore time not positive")
+	}
+}

@@ -1,0 +1,353 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (see DESIGN.md §2 for the index), plus ablations of the
+// design choices and micro-benchmarks of the hot substrates.
+//
+//	go test -bench=. -benchmem
+//
+// Figure benchmarks build a fresh Suite per iteration over a shared
+// dataset, so each iteration measures the full regeneration cost;
+// headline quantities are attached as custom metrics.
+package activedr_test
+
+import (
+	"io"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"activedr/internal/activeness"
+	"activedr/internal/experiments"
+	"activedr/internal/randx"
+	"activedr/internal/retention"
+	"activedr/internal/sim"
+	"activedr/internal/synth"
+	"activedr/internal/timeutil"
+	"activedr/internal/trace"
+	"activedr/internal/vfs"
+)
+
+// benchUsers keeps full-year replays fast enough for -bench cycles
+// while preserving the workload's shape.
+const benchUsers = 400
+
+var (
+	benchOnce sync.Once
+	benchDS   *trace.Dataset
+)
+
+func benchDataset(b *testing.B) *trace.Dataset {
+	b.Helper()
+	benchOnce.Do(func() {
+		ds, err := synth.Generate(synth.Config{Seed: 9, Users: benchUsers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchDS = ds
+	})
+	return benchDS
+}
+
+func newSuite(b *testing.B) *experiments.Suite {
+	return experiments.NewSuite(benchDataset(b))
+}
+
+// --- one benchmark per table/figure ---
+
+func BenchmarkTable1(b *testing.B) {
+	s := newSuite(b)
+	for i := 0; i < b.N; i++ {
+		s.Table1().Render(io.Discard)
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite(b)
+		r, err := s.Figure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Render(io.Discard)
+		b.ReportMetric(float64(r.DaysOver5Pct), "days>5%")
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite(b)
+		r, err := s.Figure5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Render(io.Discard)
+		b.ReportMetric(100*r.Cells[3].Matrix.Share(activeness.BothInactive), "inactive-%@90d")
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite(b)
+		r, err := s.Figure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Render(io.Discard)
+		b.ReportMetric(100*r.OverallReduction, "miss-reduction-%")
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite(b)
+		r, err := s.Figure7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Render(io.Discard)
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite(b)
+		r, err := s.Figure8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Render(io.Discard)
+		b.ReportMetric(100*r.Boxes[activeness.BothActive].Mean, "BA-mean-reduction-%")
+	}
+}
+
+// BenchmarkFigure9 covers Figures 9–11 and Tables 4–6: they share the
+// period-length sweep.
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite(b)
+		sweep, err := s.RetentionSweep()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sweep.Figure9(io.Discard)
+	}
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite(b)
+		sweep, err := s.RetentionSweep()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sweep.Figure10(io.Discard)
+	}
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite(b)
+		sweep, err := s.RetentionSweep()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sweep.Figure11(io.Discard)
+	}
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite(b)
+		r, err := s.Figure12(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Render(io.Discard)
+	}
+}
+
+// --- Figure 12 component benchmarks ---
+
+// BenchmarkTraceLoad measures dataset parsing (Figure 12a).
+func BenchmarkTraceLoad(b *testing.B) {
+	ds := benchDataset(b)
+	dir := filepath.Join(b.TempDir(), "data")
+	if err := trace.WriteDataset(dir, ds); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.LoadDataset(dir); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkActivenessEval measures ranking the whole population
+// (Figure 12b).
+func BenchmarkActivenessEval(b *testing.B) {
+	ds := benchDataset(b)
+	ev := activeness.NewEvaluator(timeutil.Days(90))
+	jt := ev.AddType("job", activeness.Operation)
+	pt := ev.AddType("pub", activeness.Outcome)
+	ev.RecordJobs(jt, ds.Jobs)
+	ev.RecordPublications(pt, ds.Publications)
+	tc := experiments.CaptureDate
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.EvaluateAll(len(ds.Users), tc)
+	}
+}
+
+// BenchmarkPurgeDecision measures one full ActiveDR purge pass over
+// the snapshot (Figure 12b).
+func BenchmarkPurgeDecision(b *testing.B) {
+	ds := benchDataset(b)
+	base, err := vfs.FromSnapshot(&ds.Snapshot)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := activeness.NewEvaluator(timeutil.Days(90))
+	jt := ev.AddType("job", activeness.Operation)
+	ev.RecordJobs(jt, ds.Jobs)
+	ranks := ev.EvaluateAll(len(ds.Users), experiments.CaptureDate)
+	adr, err := retention.NewActiveDR(retention.Config{
+		Lifetime:          timeutil.Days(90),
+		Capacity:          base.TotalBytes(),
+		TargetUtilization: 0.5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fsys := base.Clone()
+		b.StartTimer()
+		adr.Purge(fsys, ranks, experiments.CaptureDate)
+	}
+}
+
+// BenchmarkSnapshotScan measures a full lexicographic namespace walk
+// (Figure 12c/d).
+func BenchmarkSnapshotScan(b *testing.B) {
+	ds := benchDataset(b)
+	fsys, err := vfs.FromSnapshot(&ds.Snapshot)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var bytes int64
+		fsys.Walk(func(_ string, m vfs.FileMeta) bool {
+			bytes += m.Size
+			return true
+		})
+		if bytes == 0 {
+			b.Fatal("empty walk")
+		}
+	}
+}
+
+// --- ablations of DESIGN.md §3 choices ---
+
+// runComparison replays the year with a custom sim config and reports
+// the miss reduction as a metric.
+func runComparison(b *testing.B, cfg sim.Config) {
+	ds := benchDataset(b)
+	for i := 0; i < b.N; i++ {
+		em, err := sim.New(ds, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cmp, err := em.RunComparison()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*cmp.MissReduction(), "miss-reduction-%")
+	}
+}
+
+// BenchmarkAblationBaseline is the reference configuration.
+func BenchmarkAblationBaseline(b *testing.B) {
+	runComparison(b, sim.Config{TargetUtilization: 0.5})
+}
+
+// BenchmarkAblationMergedScanOrder uses the alternative §3.4 reading
+// (operation-active groups merged, ordered by outcome rank).
+func BenchmarkAblationMergedScanOrder(b *testing.B) {
+	runComparison(b, sim.Config{TargetUtilization: 0.5, Order: retention.ScanOrderMergedByOutcome})
+}
+
+// BenchmarkAblationStrictEq7 applies the literal Eq. (7) product with
+// no inactive-class flooring.
+func BenchmarkAblationStrictEq7(b *testing.B) {
+	runComparison(b, sim.Config{TargetUtilization: 0.5, StrictEq7: true})
+}
+
+// BenchmarkAblationNoTarget disables the purge target: ActiveDR
+// purges every stale file like FLT, keeping only the lifetime
+// adjustment.
+func BenchmarkAblationNoTarget(b *testing.B) {
+	runComparison(b, sim.Config{TargetUtilization: 0})
+}
+
+// --- substrate micro-benchmarks ---
+
+func BenchmarkVFSInsert(b *testing.B) {
+	ds := benchDataset(b)
+	entries := ds.Snapshot.Entries
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fsys := vfs.New()
+		for j := range entries {
+			e := &entries[j]
+			if err := fsys.Insert(e.Path, vfs.FileMeta{User: e.User, Size: e.Size, ATime: e.ATime}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(entries)), "files/op")
+}
+
+func BenchmarkVFSLookup(b *testing.B) {
+	ds := benchDataset(b)
+	fsys, err := vfs.FromSnapshot(&ds.Snapshot)
+	if err != nil {
+		b.Fatal(err)
+	}
+	paths := make([]string, 0, len(ds.Snapshot.Entries))
+	for i := range ds.Snapshot.Entries {
+		paths = append(paths, ds.Snapshot.Entries[i].Path)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := paths[i%len(paths)]
+		if _, ok := fsys.Lookup(p); !ok {
+			b.Fatal("lookup miss")
+		}
+	}
+}
+
+func BenchmarkTypeRank(b *testing.B) {
+	src := randx.New(3)
+	tc := experiments.CaptureDate
+	acts := make([]activeness.Activity, 500)
+	for i := range acts {
+		acts[i] = activeness.Activity{
+			TS:     tc.Add(-timeutil.Duration(500-i) * timeutil.Hour * 10),
+			Impact: 1 + src.Float64()*100,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		activeness.TypeRank(acts, tc, timeutil.Days(7))
+	}
+}
+
+func BenchmarkZipf(b *testing.B) {
+	z := randx.NewZipf(randx.New(1), 1.2, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Next()
+	}
+}

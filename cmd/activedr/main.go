@@ -1,0 +1,141 @@
+// Command activedr runs a single data-retention (purge) pass over a
+// dataset's metadata snapshot and prints the per-group report — the
+// operation a facility cron job would perform.
+//
+// Usage:
+//
+//	activedr -data ./data -policy activedr -lifetime 90 -target 0.5 \
+//	         -at 2016-08-23 [-reserve reserved.txt]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"activedr/internal/activeness"
+	"activedr/internal/retention"
+	"activedr/internal/timeutil"
+	"activedr/internal/trace"
+	"activedr/internal/vfs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("activedr: ")
+	var (
+		data     = flag.String("data", "data", "dataset directory (from tracegen)")
+		policy   = flag.String("policy", "activedr", "policy: activedr or flt")
+		lifetime = flag.Int("lifetime", 90, "initial file lifetime in days")
+		target   = flag.Float64("target", 0.5, "purge target utilization (0 disables)")
+		atStr    = flag.String("at", "2016-08-23", "purge trigger date (YYYY-MM-DD)")
+		reserve  = flag.String("reserve", "", "optional file with reserved paths, one per line")
+		strict   = flag.Bool("strict-eq7", false, "use the literal Eq. (7) lifetime product")
+		explain  = flag.String("explain", "", "print the activeness audit of one user (login name) and exit")
+		dryRun   = flag.Bool("dry-run", false, "plan the purge without applying it and list the victims")
+	)
+	flag.Parse()
+
+	at, err := time.Parse("2006-01-02", *atStr)
+	if err != nil {
+		log.Fatalf("bad -at date: %v", err)
+	}
+	tc := timeutil.FromGo(at)
+
+	ds, err := trace.LoadDataset(*data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fsys, err := vfs.FromSnapshot(&ds.Snapshot)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var reserved *vfs.ReservedSet
+	if *reserve != "" {
+		reserved, err = loadReserved(*reserve)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	ev := activeness.NewEvaluator(timeutil.Days(*lifetime))
+	jt := ev.AddType("job-submission", activeness.Operation)
+	pt := ev.AddType("publication", activeness.Outcome)
+	ev.RecordJobs(jt, ds.Jobs)
+	ev.RecordPublications(pt, ds.Publications)
+	if *explain != "" {
+		uid := ds.UserByName(*explain)
+		if uid == trace.NoUser {
+			log.Fatalf("unknown user %q", *explain)
+		}
+		fmt.Print(ev.Explain(uid, tc))
+		return
+	}
+	ranks := ev.EvaluateAll(len(ds.Users), tc)
+
+	var p retention.Policy
+	switch strings.ToLower(*policy) {
+	case "flt":
+		p = &retention.FLT{Lifetime: timeutil.Days(*lifetime), Reserved: reserved}
+	case "activedr":
+		adr, err := retention.NewActiveDR(retention.Config{
+			Lifetime:          timeutil.Days(*lifetime),
+			Capacity:          fsys.TotalBytes(),
+			TargetUtilization: *target,
+			Reserved:          reserved,
+			StrictEq7:         *strict,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		p = adr
+	default:
+		log.Fatalf("unknown policy %q (want flt or activedr)", *policy)
+	}
+
+	var rep *retention.Report
+	if *dryRun {
+		rep = retention.Plan(p, fsys, ranks, tc)
+		fmt.Printf("DRY RUN — nothing was purged; %d victims:\n", len(rep.Victims))
+		for i, v := range rep.Victims {
+			if i == 20 {
+				fmt.Printf("  … %d more\n", len(rep.Victims)-20)
+				break
+			}
+			fmt.Printf("  %s\n", v)
+		}
+	} else {
+		rep = p.Purge(fsys, ranks, tc)
+	}
+	fmt.Println(rep)
+	fmt.Printf("target: %.2f GB, reached: %v, retro passes: %d, exempt skipped: %d\n",
+		float64(rep.TargetBytes)/1e9, rep.TargetReached, rep.RetroPasses, rep.SkippedExempt)
+	for _, g := range activeness.Groups() {
+		gs := rep.Groups[g]
+		fmt.Printf("%-22s users=%5d purged %7d files / %9.2f GB (retained %9.2f GB), affected users=%d\n",
+			g, gs.Users, gs.PurgedFiles, float64(gs.PurgedBytes)/1e9,
+			float64(gs.RetainedBytes())/1e9, gs.AffectedUsers)
+	}
+}
+
+func loadReserved(path string) (*vfs.ReservedSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rs := vfs.NewReservedSet()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rs.Add(line)
+	}
+	return rs, sc.Err()
+}

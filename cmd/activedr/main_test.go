@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadReserved(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "reserved.txt")
+	content := "# campaign data\n/lustre/atlas/u1/keep\n\n  /lustre/atlas/u2/file.dat  \n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := loadReserved(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", rs.Len())
+	}
+	if !rs.Covers("/lustre/atlas/u1/keep/sub/file") {
+		t.Error("subtree reservation not loaded")
+	}
+	if !rs.Covers("/lustre/atlas/u2/file.dat") {
+		t.Error("whitespace-trimmed path not loaded")
+	}
+	if rs.Covers("/lustre/atlas/u3/other") {
+		t.Error("phantom reservation")
+	}
+}
+
+func TestLoadReservedMissingFile(t *testing.T) {
+	if _, err := loadReserved(filepath.Join(t.TempDir(), "nope.txt")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

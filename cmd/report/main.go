@@ -1,0 +1,132 @@
+// Command report regenerates the paper's tables and figures on the
+// synthetic dataset (or a dataset directory) and writes the text
+// renditions to stdout or a file.
+//
+// Usage:
+//
+//	report                 # all figures, built-in synthetic dataset
+//	report -fig 6          # one figure
+//	report -data ./data    # use a tracegen dataset
+//	report -o results.txt  # write to a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"activedr/internal/experiments"
+	"activedr/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("report: ")
+	var (
+		data  = flag.String("data", "", "dataset directory (empty = generate synthetic)")
+		users = flag.Int("users", 2000, "synthetic user count (when -data is empty)")
+		seed  = flag.Uint64("seed", 0, "synthetic seed (when -data is empty)")
+		fig   = flag.String("fig", "all", "figure/table to render: all, t1, 1, 5, 6, 7, 8, 9, 10, 11, 12, ablation")
+		out   = flag.String("o", "", "output file (empty = stdout)")
+		ranks = flag.Int("ranks", 4, "parallel ranks for Figure 12")
+	)
+	flag.Parse()
+
+	var suite *experiments.Suite
+	if *data != "" {
+		ds, err := trace.LoadDataset(*data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		suite = experiments.NewSuite(ds)
+	} else {
+		s, err := experiments.NewSyntheticSuite(*users, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		suite = s
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	if err := render(suite, *fig, w, *ranks); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func render(s *experiments.Suite, fig string, w io.Writer, ranks int) error {
+	switch fig {
+	case "all":
+		return s.RunAll(w, ranks)
+	case "t1":
+		s.Table1().Render(w)
+	case "1":
+		r, err := s.Figure1()
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+	case "5":
+		r, err := s.Figure5()
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+	case "6":
+		r, err := s.Figure6()
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+	case "7":
+		r, err := s.Figure7()
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+	case "8":
+		r, err := s.Figure8()
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+	case "9", "10", "11":
+		sweep, err := s.RetentionSweep()
+		if err != nil {
+			return err
+		}
+		switch fig {
+		case "9":
+			sweep.Figure9(w)
+		case "10":
+			sweep.Figure10(w)
+		case "11":
+			sweep.Figure11(w)
+		}
+	case "12":
+		r, err := s.Figure12(ranks)
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+	case "ablation":
+		r, err := s.Ablation()
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+	default:
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+	return nil
+}

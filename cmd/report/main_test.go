@@ -1,0 +1,41 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"activedr/internal/experiments"
+)
+
+func smallSuite(t *testing.T) *experiments.Suite {
+	t.Helper()
+	s, err := experiments.NewSyntheticSuite(200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRenderEveryFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays the full year several times")
+	}
+	s := smallSuite(t)
+	for _, fig := range []string{"t1", "1", "5", "6", "7", "8", "9", "10", "11", "12"} {
+		var b strings.Builder
+		if err := render(s, fig, &b, 2); err != nil {
+			t.Fatalf("fig %s: %v", fig, err)
+		}
+		if b.Len() == 0 {
+			t.Fatalf("fig %s produced no output", fig)
+		}
+	}
+}
+
+func TestRenderUnknownFigure(t *testing.T) {
+	s := smallSuite(t)
+	if err := render(s, "99", io.Discard, 2); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}

@@ -1,0 +1,83 @@
+// Command simulate replays a dataset's application log for the whole
+// evaluation year under both FLT and ActiveDR and reports the file
+// miss comparison (the paper's §4.3 headline experiment).
+//
+// Usage:
+//
+//	simulate -data ./data -lifetime 90 -target 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"activedr/internal/activeness"
+	"activedr/internal/archive"
+	"activedr/internal/sim"
+	"activedr/internal/stats"
+	"activedr/internal/timeutil"
+	"activedr/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("simulate: ")
+	var (
+		data     = flag.String("data", "data", "dataset directory (from tracegen)")
+		lifetime = flag.Int("lifetime", 90, "initial file lifetime in days")
+		target   = flag.Float64("target", 0.5, "ActiveDR purge target utilization")
+		interval = flag.Int("interval", 7, "purge trigger interval in days")
+		snapDir  = flag.String("snapshots", "", "write the FLT run's weekly metadata snapshot series to this directory")
+	)
+	flag.Parse()
+
+	ds, err := trace.LoadDataset(*data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := sim.Config{
+		Lifetime:          timeutil.Days(*lifetime),
+		TriggerInterval:   timeutil.Days(*interval),
+		TargetUtilization: *target,
+	}
+	if *snapDir != "" {
+		cfg.SnapshotEvery = timeutil.Days(7)
+	}
+	em, err := sim.New(ds, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmp, err := em.RunComparison()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replayed %d accesses over %d days (lifetime %dd, trigger %dd, target %.0f%%)\n",
+		cmp.FLT.TotalAccesses, len(cmp.FLT.Days), *lifetime, *interval, 100**target)
+	fmt.Printf("%-14s misses=%7d (%.2f%% of accesses), wall=%v\n",
+		cmp.FLT.Policy, cmp.FLT.TotalMisses,
+		100*float64(cmp.FLT.TotalMisses)/float64(cmp.FLT.TotalAccesses), cmp.FLT.Elapsed)
+	fmt.Printf("%-14s misses=%7d (%.2f%% of accesses), wall=%v\n",
+		cmp.ActiveDR.Policy, cmp.ActiveDR.TotalMisses,
+		100*float64(cmp.ActiveDR.TotalMisses)/float64(cmp.ActiveDR.TotalAccesses), cmp.ActiveDR.Elapsed)
+	fmt.Printf("overall file-miss reduction: %.1f%%\n", 100*cmp.MissReduction())
+	for _, m := range archive.Models() {
+		fmt.Printf("restore cost under %s: FLT=%v ActiveDR=%v (saves %v)\n",
+			m, cmp.FLT.RestoreCost(m).Round(time.Minute),
+			cmp.ActiveDR.RestoreCost(m).Round(time.Minute),
+			cmp.RestoreSavings(m).Round(time.Minute))
+	}
+	if *snapDir != "" {
+		if err := trace.WriteSnapshotSeries(*snapDir, ds.Users, cmp.FLT.Snapshots); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d weekly snapshots to %s\n", len(cmp.FLT.Snapshots), *snapDir)
+	}
+	for _, g := range activeness.Groups() {
+		f := cmp.FLT.MissesByGroup[g]
+		a := cmp.ActiveDR.MissesByGroup[g]
+		fmt.Printf("%-22s FLT=%7d ActiveDR=%7d reduction=%6.1f%%\n",
+			g, f, a, 100*stats.ReductionRatio(float64(f), float64(a)))
+	}
+}

@@ -1,0 +1,64 @@
+// Activity-type configuration: the paper's Table 2 lets an
+// administrator pick any trackable activities as activeness sources.
+// This example evaluates the same population twice — once with jobs
+// and publications only (the paper's reference configuration), once
+// with shell logins and data transfers added as extra operation types
+// — and shows how the activeness matrix shifts.
+//
+//	go run ./examples/activities
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"activedr"
+)
+
+func main() {
+	log.SetFlags(0)
+	ds, err := activedr.Generate(activedr.SynthConfig{Seed: 13, Users: 600})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tc := activedr.Date(2016, time.August, 23)
+
+	evaluate := func(extra bool) activedr.Matrix {
+		ev := activedr.NewEvaluator(activedr.Days(90))
+		jobs := ev.AddType("job-submission", activedr.Operation)
+		pubs := ev.AddType("publication", activedr.Outcome)
+		ev.RecordJobs(jobs, ds.Jobs)
+		ev.RecordPublications(pubs, ds.Publications)
+		if extra {
+			logins := ev.AddType("shell-login", activedr.Operation)
+			transfers := ev.AddType("data-transfer", activedr.Operation)
+			ev.RecordLogins(logins, ds.Logins)
+			ev.RecordTransfers(transfers, ds.Transfers)
+		}
+		ranks := ev.EvaluateAll(len(ds.Users), tc)
+		var m activedr.Matrix
+		for _, r := range ranks {
+			m.Counts[r.Group()]++
+			m.Total++
+		}
+		return m
+	}
+
+	base := evaluate(false)
+	extra := evaluate(true)
+	fmt.Printf("dataset: %d logins, %d transfers available beyond %d jobs / %d publications\n\n",
+		len(ds.Logins), len(ds.Transfers), len(ds.Jobs), len(ds.Publications))
+	fmt.Printf("%-24s %18s %24s\n", "Group", "jobs+pubs only", "+logins +transfers")
+	groups := []activedr.Group{
+		activedr.BothActive, activedr.OperationActiveOnly,
+		activedr.OutcomeActiveOnly, activedr.BothInactive,
+	}
+	for _, g := range groups {
+		fmt.Printf("%-24s %12d users %18d users\n", g, base.Counts[g], extra.Counts[g])
+	}
+	fmt.Println("\nEvery operation type multiplies into Φ_op (Eq. 6): demanding")
+	fmt.Println("steady logins *and* transfers *and* jobs is stricter, so adding")
+	fmt.Println("types typically shrinks the operation-active cohort — exactly the")
+	fmt.Println("knob §5 of the paper leaves to the administrator.")
+}

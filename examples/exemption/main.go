@@ -1,0 +1,67 @@
+// Purge exemption: the administrator reserves a directory subtree and
+// a single file, then runs an aggressive ActiveDR pass. Reserved
+// paths survive even though their owner is fully inactive — the
+// "contract between users and the system administrator" of §3.4.
+//
+//	go run ./examples/exemption
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"activedr"
+)
+
+func main() {
+	log.SetFlags(0)
+	tc := activedr.Date(2016, time.August, 23)
+
+	// A tiny hand-built file system: one inactive user with parked
+	// data, part of it covered by a reservation list.
+	fsys := activedr.NewFS()
+	old := tc.Add(-activedr.Days(300))
+	files := []string{
+		"/lustre/atlas/u1/campaign/model.ckpt",
+		"/lustre/atlas/u1/campaign/inputs/mesh.h5",
+		"/lustre/atlas/u1/scratch/tmp001.dat",
+		"/lustre/atlas/u1/scratch/tmp002.dat",
+		"/lustre/atlas/u1/results/final.h5",
+	}
+	for _, p := range files {
+		if err := fsys.Insert(p, activedr.FileMeta{User: 0, Size: 10 << 30, ATime: old}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The reservation list: the whole campaign directory plus one
+	// result file.
+	reserved := activedr.NewReservedSet()
+	reserved.Add("/lustre/atlas/u1/campaign")
+	reserved.Add("/lustre/atlas/u1/results/final.h5")
+
+	policy, err := activedr.NewActiveDR(activedr.RetentionConfig{
+		Lifetime: activedr.Days(90),
+		Reserved: reserved,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The owner is both-inactive: rank 0 on both classes.
+	ranks := []activedr.Rank{{Op: 0, Oc: 0, HasOp: true, HasOc: true}}
+	rep := policy.Purge(fsys, ranks, tc)
+
+	fmt.Printf("purged %d files, skipped %d reserved files\n\n", rep.PurgedFiles, rep.SkippedExempt)
+	for _, p := range files {
+		state := "PURGED"
+		if fsys.Contains(p) {
+			state = "kept  "
+		}
+		mark := ""
+		if reserved.Covers(p) {
+			mark = "  (reserved)"
+		}
+		fmt.Printf("  %s %s%s\n", state, p, mark)
+	}
+}

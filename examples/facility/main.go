@@ -1,0 +1,57 @@
+// Facility sweep: run the fixed-lifetime policies of Table 1 (NCAR
+// 120d, OLCF 90d, TACC 30d, NERSC 12wk) and ActiveDR on the same
+// synthetic system and compare how many misses each would inflict —
+// the trade-off a site administrator faces when picking a lifetime.
+//
+//	go run ./examples/facility
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"activedr"
+)
+
+func main() {
+	log.SetFlags(0)
+	ds, err := activedr.Generate(activedr.SynthConfig{Seed: 7, Users: 400})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-8s %-14s %10s %12s %14s\n", "Site", "Policy", "Misses", "Miss ratio", "Final usage TB")
+	for _, f := range activedr.Facilities() {
+		em, err := activedr.NewEmulator(ds, activedr.SimConfig{Lifetime: f.Lifetime})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := em.Run(em.NewFLT())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %-14s %10d %11.2f%% %14.1f\n",
+			f.Name, res.Policy, res.TotalMisses,
+			100*float64(res.TotalMisses)/float64(res.TotalAccesses),
+			float64(res.Final.TotalBytes())/1e12)
+	}
+	// ActiveDR with the OLCF lifetime for contrast.
+	em, err := activedr.NewEmulator(ds, activedr.SimConfig{
+		Lifetime:          activedr.Days(90),
+		TargetUtilization: 0.5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	adr, err := em.NewActiveDR()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := em.Run(adr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-8s %-14s %10d %11.2f%% %14.1f\n",
+		"(OLCF)", res.Policy, res.TotalMisses,
+		100*float64(res.TotalMisses)/float64(res.TotalAccesses),
+		float64(res.Final.TotalBytes())/1e12)
+}

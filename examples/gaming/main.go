@@ -1,0 +1,87 @@
+// Gaming the purge: a user "touches" parked files every month to
+// renew their access times without doing any real work (§1 of the
+// paper, citing Monti et al.). FLT is fooled forever; ActiveDR sees a
+// user with no operations or outcomes and reclaims the space as soon
+// as the purge target demands it.
+//
+//	go run ./examples/gaming
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"activedr"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	start := activedr.Date(2016, time.January, 1)
+	fsys := activedr.NewFS()
+	// The gamer parks 10 files; a busy colleague owns one active file.
+	var gamerFiles []string
+	for i := 0; i < 10; i++ {
+		p := fmt.Sprintf("/lustre/atlas/gamer/parked%02d.dat", i)
+		gamerFiles = append(gamerFiles, p)
+		if err := fsys.Insert(p, activedr.FileMeta{User: 0, Size: 1 << 40, ATime: start}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	busy := "/lustre/atlas/busy/run.dat"
+	if err := fsys.Insert(busy, activedr.FileMeta{User: 1, Size: 1 << 40, ATime: start}); err != nil {
+		log.Fatal(err)
+	}
+
+	flt := &activedr.FLT{Lifetime: activedr.Days(90)}
+	adr, err := activedr.NewActiveDR(activedr.RetentionConfig{
+		Lifetime:          activedr.Days(90),
+		Capacity:          fsys.TotalBytes(),
+		TargetUtilization: 0.5, // the system needs half the space back
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	adrFS := fsys.Clone()
+
+	// Ranks: the gamer has zero operations and outcomes; the busy
+	// user's rank reflects rising activity.
+	ranks := []activedr.Rank{
+		{Op: 0, Oc: 0, HasOp: true, HasOc: true},
+		{Op: 2.5, Oc: 1.2, HasOp: true, HasOc: true},
+	}
+
+	// Simulate 12 monthly cycles: at each month's start the gamer
+	// touches every parked file; the purge runs mid-month, when the
+	// touched files are two weeks idle — far inside the FLT lifetime,
+	// but fair game for ActiveDR once the target demands space.
+	tc := start
+	for month := 1; month <= 12; month++ {
+		tc = tc.Add(activedr.Days(30))
+		for _, p := range gamerFiles {
+			fsys.Touch(p, tc)  // FLT world: the trick works
+			adrFS.Touch(p, tc) // ActiveDR world: the touch is futile
+		}
+		fsys.Touch(busy, tc)
+		adrFS.Touch(busy, tc)
+		purgeAt := tc.Add(activedr.Days(15))
+		flt.Purge(fsys, ranks, purgeAt)
+		adr.Purge(adrFS, ranks, purgeAt)
+	}
+
+	count := func(fs *activedr.FS, paths []string) int {
+		n := 0
+		for _, p := range paths {
+			if fs.Contains(p) {
+				n++
+			}
+		}
+		return n
+	}
+	fmt.Printf("after one year of monthly touch-gaming (10 TiB parked):\n")
+	fmt.Printf("  FLT      : gamer keeps %2d/10 parked files — the trick works\n", count(fsys, gamerFiles))
+	fmt.Printf("  ActiveDR : gamer keeps %2d/10 parked files — activeness, not atime, decides\n", count(adrFS, gamerFiles))
+	fmt.Printf("  the busy user's file survives under both: FLT=%v ActiveDR=%v\n",
+		fsys.Contains(busy), adrFS.Contains(busy))
+}

@@ -1,0 +1,3 @@
+module activedr
+
+go 1.23

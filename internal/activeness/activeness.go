@@ -1,0 +1,419 @@
+// Package activeness implements the paper's core contribution: the
+// user-activeness evaluation model of §3.2 (Equations 1–6), the
+// publication impact of Eq. (8), and the four-way user
+// classification matrix of §3.3.
+//
+// The model is deliberately simple: every user activity — of any type
+// an administrator cares to track (Table 2 of the paper) — reduces to
+// a (timestamp, impact) pair. For an activity type λ the activities
+// are bucketed into m periods of length d ending at the evaluation
+// time t_c; each period's activeness ratio b_e is its impact share
+// relative to the per-period average, and the type's rank is
+// Φ_λ = Π b_e^e, weighting recent periods exponentially harder. Ranks
+// multiply across types within the two classes, operations and
+// outcomes, yielding (Φ_op, Φ_oc), and a user is active on a class
+// iff its rank is ≥ 1.
+package activeness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"activedr/internal/timeutil"
+	"activedr/internal/trace"
+)
+
+// Class distinguishes the two dimensions of the activeness matrix.
+type Class int
+
+const (
+	// Operation activities are things users do on the system (job
+	// submissions, logins, file accesses, data transfers).
+	Operation Class = iota
+	// Outcome activities are what users achieve with the system
+	// (completed jobs, generated datasets, publications).
+	Outcome
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case Operation:
+		return "operation"
+	case Outcome:
+		return "outcome"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Activity is the unified activeness measurement of §3.2: any user
+// activity reduced to a timestamp and a non-negative impact.
+type Activity struct {
+	TS     timeutil.Time
+	Impact float64
+}
+
+// TypeID identifies a registered activity type within an Evaluator.
+type TypeID int
+
+// TypeSpec describes a registered activity type.
+type TypeSpec struct {
+	Name  string
+	Class Class
+}
+
+// Group is one quadrant of the §3.3 classification matrix. The order
+// is the ascending-activeness scan order of the data-retention
+// procedure: both-inactive first, both-active last.
+type Group int
+
+const (
+	BothInactive Group = iota
+	OutcomeActiveOnly
+	OperationActiveOnly
+	BothActive
+	NumGroups = 4
+)
+
+// String names the group as the paper does.
+func (g Group) String() string {
+	switch g {
+	case BothInactive:
+		return "Both Inactive"
+	case OutcomeActiveOnly:
+		return "Outcome Active Only"
+	case OperationActiveOnly:
+		return "Operation Active Only"
+	case BothActive:
+		return "Both Active"
+	default:
+		return fmt.Sprintf("Group(%d)", int(g))
+	}
+}
+
+// Groups lists all groups in scan order.
+func Groups() [NumGroups]Group {
+	return [NumGroups]Group{BothInactive, OutcomeActiveOnly, OperationActiveOnly, BothActive}
+}
+
+// Rank is a user's evaluated activeness. Op and Oc are the combined
+// class ranks Φ_op and Φ_oc of Eq. (6); HasOp/HasOc record whether the
+// user had any activity of that class at all — users without recorded
+// activity keep the protective initial rank 1.0 (§3.4) but are
+// classified inactive, so their files receive the initial lifetime
+// and the earliest scan priority.
+type Rank struct {
+	Op, Oc       float64
+	HasOp, HasOc bool
+}
+
+// NewUserRank is the rank assigned to users with no recorded
+// activity: initial rank 1.0 on both classes (paper §3.4).
+func NewUserRank() Rank { return Rank{Op: 1, Oc: 1} }
+
+// OpActive reports operation-class activeness (Φ_op ≥ 1 with data).
+func (r Rank) OpActive() bool { return r.HasOp && r.Op >= 1 }
+
+// OcActive reports outcome-class activeness (Φ_oc ≥ 1 with data).
+func (r Rank) OcActive() bool { return r.HasOc && r.Oc >= 1 }
+
+// Group classifies the rank into the §3.3 matrix.
+func (r Rank) Group() Group {
+	switch {
+	case r.OpActive() && r.OcActive():
+		return BothActive
+	case r.OpActive():
+		return OperationActiveOnly
+	case r.OcActive():
+		return OutcomeActiveOnly
+	default:
+		return BothInactive
+	}
+}
+
+// LifetimeMultiplier is the factor applied to the initial file
+// lifetime in Eq. (7), resolved per classification group:
+//
+//   - both-active users multiply both ranks (Φ_op·Φ_oc ≥ 1);
+//   - partially active users are adjusted by the active class alone
+//     (matching the paper's §4.3 observation that for
+//     operation-active-only users "only operational activities are
+//     considered"), so an inactive outcome rank cannot erase an
+//     earned operations reward;
+//   - both-inactive users have their lifetime cut back by the raw
+//     product (< 1, often 0) — this is the §3.4 "cuts back the file
+//     lifetime of inactive users", and it is what lets ActiveDR
+//     reach the purge target from inactive users' files alone
+//     (paper Tables 4–6, where ActiveDR retains petabytes less for
+//     the both-inactive group);
+//   - users with no recorded activity keep the protective initial
+//     rank 1.0 (§3.4's initial file lifetime for new users).
+func (r Rank) LifetimeMultiplier() float64 {
+	var m float64
+	switch {
+	case r.OpActive() && r.OcActive():
+		m = r.Op * r.Oc
+	case r.OpActive():
+		m = r.Op
+	case r.OcActive():
+		m = r.Oc
+	default:
+		m = 1.0
+		if r.HasOp {
+			m *= r.Op
+		}
+		if r.HasOc {
+			m *= r.Oc
+		}
+	}
+	if math.IsInf(m, 1) || m > math.MaxFloat64 {
+		return math.MaxFloat64
+	}
+	return m
+}
+
+// StrictEq7Multiplier is the literal Eq. (7) product Φ_op·Φ_oc with
+// no inactive-class flooring, kept for the ablation benchmarks. Under
+// it, a user inactive on either class can see the lifetime collapse
+// to zero.
+func (r Rank) StrictEq7Multiplier() float64 {
+	m := r.Op * r.Oc
+	if math.IsInf(m, 1) {
+		return math.MaxFloat64
+	}
+	return m
+}
+
+// TypeRank computes Φ_λ (Eqs 1–5) for one activity type of one user
+// at evaluation time tc with period length d. acts must be sorted by
+// timestamp; activities after tc are ignored. An empty (or fully
+// future) history yields the initial rank 1.0. A history whose total
+// impact is zero, or with any empty period inside the m-period
+// window, yields 0 (inactive).
+func TypeRank(acts []Activity, tc timeutil.Time, d timeutil.Duration) float64 {
+	if d <= 0 {
+		panic("activeness: non-positive period length")
+	}
+	// Cut off future activities (sorted input → binary search).
+	k := sort.Search(len(acts), func(i int) bool { return acts[i].TS > tc })
+	acts = acts[:k]
+	if len(acts) == 0 {
+		return 1.0
+	}
+	first, last := acts[0].TS, acts[len(acts)-1].TS
+	m := timeutil.PeriodCount(first, last, d) // Eq. (1)
+	var total float64
+	for i := range acts {
+		if acts[i].Impact < 0 {
+			panic(fmt.Sprintf("activeness: negative impact at %v", acts[i].TS))
+		}
+		total += acts[i].Impact
+	}
+	if total <= 0 {
+		return 0
+	}
+	avg := total / float64(m) // Eq. (2)
+	// Bucket impacts into the m-period window ending at tc (Eq. 4).
+	dp := make([]float64, m+1) // 1-based
+	for i := range acts {
+		e := timeutil.PeriodIndex(tc, acts[i].TS, m, d)
+		if e >= 1 && e <= m {
+			dp[e] += acts[i].Impact
+		}
+	}
+	// Φ_λ = Π_{e=1..m} (D_e/avg)^e, in log space (Eq. 3 + Eq. 5).
+	// Any empty period zeroes the product.
+	logSum := 0.0
+	for e := 1; e <= m; e++ {
+		if dp[e] == 0 {
+			return 0
+		}
+		logSum += float64(e) * math.Log(dp[e]/avg)
+	}
+	phi := math.Exp(logSum)
+	if math.IsInf(phi, 1) {
+		return math.MaxFloat64
+	}
+	return phi
+}
+
+// CombineTypeRanks multiplies per-type ranks within a class (Eq. 6),
+// clamping overflow.
+func CombineTypeRanks(ranks []float64) float64 {
+	phi := 1.0
+	for _, r := range ranks {
+		phi *= r
+		if math.IsInf(phi, 1) {
+			return math.MaxFloat64
+		}
+	}
+	return phi
+}
+
+// Evaluator accumulates activities per (type, user) and evaluates
+// ranks at arbitrary times. It is built once from traces and then
+// queried at every purge trigger; Record calls may arrive in any
+// order, and the per-user histories are sorted lazily.
+type Evaluator struct {
+	period timeutil.Duration
+	types  []TypeSpec
+	// data[t][u] is the activity history of user u for type t.
+	data []map[trace.UserID][]Activity
+
+	mu     sync.Mutex // guards sorted / the one-time history sort
+	sorted bool
+}
+
+// NewEvaluator builds an Evaluator with the given period length d
+// (the paper sweeps d ∈ {7, 30, 60, 90} days).
+func NewEvaluator(period timeutil.Duration) *Evaluator {
+	if period <= 0 {
+		panic("activeness: non-positive period length")
+	}
+	return &Evaluator{period: period, sorted: true}
+}
+
+// Period returns the configured period length.
+func (e *Evaluator) Period() timeutil.Duration { return e.period }
+
+// AddType registers an activity type and returns its ID.
+func (e *Evaluator) AddType(name string, class Class) TypeID {
+	e.types = append(e.types, TypeSpec{Name: name, Class: class})
+	e.data = append(e.data, make(map[trace.UserID][]Activity))
+	return TypeID(len(e.types) - 1)
+}
+
+// Types returns the registered type specs.
+func (e *Evaluator) Types() []TypeSpec { return append([]TypeSpec(nil), e.types...) }
+
+// Record appends one activity for a user.
+func (e *Evaluator) Record(t TypeID, u trace.UserID, ts timeutil.Time, impact float64) {
+	if impact < 0 {
+		panic("activeness: negative impact")
+	}
+	e.data[t][u] = append(e.data[t][u], Activity{TS: ts, Impact: impact})
+	e.sorted = false
+}
+
+// RecordJobs feeds a job-scheduler log as one operation type; the
+// impact of a job is its core-hours (§4.1.3).
+func (e *Evaluator) RecordJobs(t TypeID, jobs []trace.Job) {
+	for i := range jobs {
+		e.Record(t, jobs[i].User, jobs[i].Submit, jobs[i].CoreHours())
+	}
+}
+
+// RecordLogins feeds a shell-login log as one operation type; every
+// login has impact 1 (frequency is the signal).
+func (e *Evaluator) RecordLogins(t TypeID, logins []trace.Login) {
+	for i := range logins {
+		e.Record(t, logins[i].User, logins[i].TS, 1)
+	}
+}
+
+// RecordTransfers feeds a data-transfer log as one operation type;
+// the impact of a transfer is the moved gigabytes.
+func (e *Evaluator) RecordTransfers(t TypeID, xs []trace.Transfer) {
+	for i := range xs {
+		e.Record(t, xs[i].User, xs[i].TS, xs[i].Impact())
+	}
+}
+
+// RecordPublications feeds a publication list as one outcome type;
+// each author receives the Eq. (8) impact (c+1)·(n−i+1).
+func (e *Evaluator) RecordPublications(t TypeID, pubs []trace.Publication) {
+	for i := range pubs {
+		p := &pubs[i]
+		n := len(p.Authors)
+		for idx, a := range p.Authors {
+			impact := float64(p.Citations+1) * float64(n-idx)
+			e.Record(t, a, p.TS, impact)
+		}
+	}
+}
+
+// ensureSorted sorts every history once. It is safe to call from
+// concurrent EvaluateUser goroutines; Record must not run
+// concurrently with evaluation.
+func (e *Evaluator) ensureSorted() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.sorted {
+		return
+	}
+	for _, byUser := range e.data {
+		for u, acts := range byUser {
+			sort.SliceStable(acts, func(i, j int) bool { return acts[i].TS < acts[j].TS })
+			byUser[u] = acts
+		}
+	}
+	e.sorted = true
+}
+
+// EvaluateUser computes the user's rank at time tc.
+func (e *Evaluator) EvaluateUser(u trace.UserID, tc timeutil.Time) Rank {
+	e.ensureSorted()
+	r := Rank{Op: 1, Oc: 1}
+	for t := range e.types {
+		acts := e.data[t][u]
+		// Does the user have any activity of this type at or before tc?
+		k := sort.Search(len(acts), func(i int) bool { return acts[i].TS > tc })
+		if k == 0 {
+			continue
+		}
+		phi := TypeRank(acts, tc, e.period)
+		switch e.types[t].Class {
+		case Operation:
+			r.HasOp = true
+			r.Op *= phi
+		case Outcome:
+			r.HasOc = true
+			r.Oc *= phi
+		}
+	}
+	if math.IsInf(r.Op, 1) {
+		r.Op = math.MaxFloat64
+	}
+	if math.IsInf(r.Oc, 1) {
+		r.Oc = math.MaxFloat64
+	}
+	return r
+}
+
+// EvaluateAll ranks every user in the population at time tc. The
+// result is indexed by UserID.
+func (e *Evaluator) EvaluateAll(numUsers int, tc timeutil.Time) []Rank {
+	ranks := make([]Rank, numUsers)
+	for u := 0; u < numUsers; u++ {
+		ranks[u] = e.EvaluateUser(trace.UserID(u), tc)
+	}
+	return ranks
+}
+
+// Matrix counts users per classification group — the content of the
+// paper's Figure 5.
+type Matrix struct {
+	Counts [NumGroups]int
+	Total  int
+}
+
+// NewMatrix classifies a rank slice.
+func NewMatrix(ranks []Rank) Matrix {
+	var m Matrix
+	for _, r := range ranks {
+		m.Counts[r.Group()]++
+		m.Total++
+	}
+	return m
+}
+
+// Share returns the fraction of users in group g.
+func (m Matrix) Share(g Group) float64 {
+	if m.Total == 0 {
+		return 0
+	}
+	return float64(m.Counts[g]) / float64(m.Total)
+}

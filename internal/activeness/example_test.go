@@ -1,0 +1,44 @@
+package activeness_test
+
+import (
+	"fmt"
+	"time"
+
+	"activedr/internal/activeness"
+	"activedr/internal/timeutil"
+)
+
+// ExampleTypeRank shows the §3.2 trend behaviour: a user whose recent
+// impact rises ranks active, one whose impact falls ranks inactive.
+func ExampleTypeRank() {
+	tc := timeutil.Date(2016, time.July, 1)
+	week := timeutil.Days(7)
+	rising := []activeness.Activity{
+		{TS: tc.Add(-timeutil.Days(12)), Impact: 1},
+		{TS: tc.Add(-timeutil.Days(3)), Impact: 3},
+	}
+	falling := []activeness.Activity{
+		{TS: tc.Add(-timeutil.Days(12)), Impact: 3},
+		{TS: tc.Add(-timeutil.Days(3)), Impact: 1},
+	}
+	fmt.Printf("rising:  Φ = %.3f\n", activeness.TypeRank(rising, tc, week))
+	fmt.Printf("falling: Φ = %.3f\n", activeness.TypeRank(falling, tc, week))
+	// Output:
+	// rising:  Φ = 1.125
+	// falling: Φ = 0.375
+}
+
+// ExampleEvaluator classifies a user from raw activities.
+func ExampleEvaluator() {
+	tc := timeutil.Date(2016, time.July, 1)
+	ev := activeness.NewEvaluator(timeutil.Days(7))
+	jobs := ev.AddType("job-submission", activeness.Operation)
+	pubs := ev.AddType("publication", activeness.Outcome)
+	ev.Record(jobs, 0, tc.Add(-timeutil.Days(12)), 100) // core-hours
+	ev.Record(jobs, 0, tc.Add(-timeutil.Days(2)), 400)
+	ev.Record(pubs, 0, tc.Add(-timeutil.Days(5)), 30) // Eq. 8 impact
+	r := ev.EvaluateUser(0, tc)
+	fmt.Println(r.Group())
+	// Output:
+	// Both Active
+}

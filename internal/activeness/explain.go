@@ -1,0 +1,122 @@
+package activeness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"activedr/internal/timeutil"
+	"activedr/internal/trace"
+)
+
+// The paper argues for activeness over ML prediction partly because
+// "the result ... is not as intuitively explainable as what system
+// administrators need" (§3). Explain makes the rank auditable: for
+// every activity type it exposes the period count m, the per-period
+// impacts and activeness ratios b_e, and the resulting Φ_λ, so an
+// administrator can answer "why was this user classified inactive?"
+// from one table.
+
+// PeriodDetail is one period's slice of a type rank.
+type PeriodDetail struct {
+	// Index is the 1-based period index e; m is the most recent.
+	Index int
+	// Impact is D_e, the summed impact of the period's activities.
+	Impact float64
+	// Ratio is b_e = D_e / Avg.
+	Ratio float64
+}
+
+// TypeExplanation is the full evaluation trace of one activity type.
+type TypeExplanation struct {
+	Type TypeSpec
+	// Activities counts the user's activities at or before tc;
+	// InWindow counts those inside the m-period window.
+	Activities int
+	InWindow   int
+	// M is the period count of Eq. (1); Avg the per-period average of
+	// Eq. (2); Phi the resulting Φ_λ.
+	M   int
+	Avg float64
+	Phi float64
+	// Periods lists every period, oldest (e=1) first.
+	Periods []PeriodDetail
+}
+
+// Explanation is a user's full activeness audit at one instant.
+type Explanation struct {
+	User  trace.UserID
+	At    timeutil.Time
+	Rank  Rank
+	Types []TypeExplanation
+}
+
+// Explain audits the rank evaluation of one user at time tc.
+func (e *Evaluator) Explain(u trace.UserID, tc timeutil.Time) Explanation {
+	e.ensureSorted()
+	out := Explanation{User: u, At: tc, Rank: e.EvaluateUser(u, tc)}
+	for t := range e.types {
+		acts := e.data[t][u]
+		k := sort.Search(len(acts), func(i int) bool { return acts[i].TS > tc })
+		acts = acts[:k]
+		te := TypeExplanation{Type: e.types[t], Activities: len(acts)}
+		if len(acts) == 0 {
+			te.Phi = 1.0 // the initial rank
+			out.Types = append(out.Types, te)
+			continue
+		}
+		te.M = timeutil.PeriodCount(acts[0].TS, acts[len(acts)-1].TS, e.period)
+		var total float64
+		for i := range acts {
+			total += acts[i].Impact
+		}
+		te.Avg = total / float64(te.M)
+		dp := make([]float64, te.M+1)
+		for i := range acts {
+			idx := timeutil.PeriodIndex(tc, acts[i].TS, te.M, e.period)
+			if idx >= 1 && idx <= te.M {
+				dp[idx] += acts[i].Impact
+				te.InWindow++
+			}
+		}
+		for idx := 1; idx <= te.M; idx++ {
+			ratio := 0.0
+			if te.Avg > 0 {
+				ratio = dp[idx] / te.Avg
+			}
+			te.Periods = append(te.Periods, PeriodDetail{Index: idx, Impact: dp[idx], Ratio: ratio})
+		}
+		te.Phi = TypeRank(acts, tc, e.period)
+		out.Types = append(out.Types, te)
+	}
+	return out
+}
+
+// String renders the audit as an administrator-facing report.
+func (x Explanation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "user %d at %s: group=%s Φ_op=%.4g Φ_oc=%.4g\n",
+		x.User, x.At.DateString(), x.Rank.Group(), x.Rank.Op, x.Rank.Oc)
+	for _, te := range x.Types {
+		fmt.Fprintf(&b, "  %s (%s): Φ=%.4g, %d activities (%d in window), m=%d, avg=%.4g\n",
+			te.Type.Name, te.Type.Class, te.Phi, te.Activities, te.InWindow, te.M, te.Avg)
+		if len(te.Periods) == 0 {
+			continue
+		}
+		// Render at most the 12 most recent periods; the old tail of a
+		// long history is rarely the interesting part.
+		first := 0
+		if len(te.Periods) > 12 {
+			first = len(te.Periods) - 12
+			fmt.Fprintf(&b, "    … %d older periods elided …\n", first)
+		}
+		for _, p := range te.Periods[first:] {
+			marker := ""
+			if p.Impact == 0 {
+				marker = "  ← empty period zeroes Φ"
+			}
+			fmt.Fprintf(&b, "    period e=%-3d D=%-12.4g b=%.4g%s\n", p.Index, p.Impact, p.Ratio, marker)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package activeness
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"activedr/internal/timeutil"
+)
+
+func TestExplainMatchesEvaluate(t *testing.T) {
+	e := NewEvaluator(p7)
+	jt := e.AddType("job", Operation)
+	pt := e.AddType("pub", Outcome)
+	e.Record(jt, 0, tc.Add(-timeutil.Days(12)), 1)
+	e.Record(jt, 0, tc.Add(-timeutil.Days(3)), 3)
+	e.Record(pt, 0, tc.Add(-timeutil.Days(2)), 10)
+	x := e.Explain(0, tc)
+	r := e.EvaluateUser(0, tc)
+	if x.Rank != r {
+		t.Fatalf("Explain rank %+v != EvaluateUser %+v", x.Rank, r)
+	}
+	if len(x.Types) != 2 {
+		t.Fatalf("types = %d", len(x.Types))
+	}
+	job := x.Types[0]
+	if job.Phi != r.Op {
+		t.Errorf("job Φ = %v, rank Op = %v", job.Phi, r.Op)
+	}
+	if job.M != 2 || job.Activities != 2 || job.InWindow != 2 {
+		t.Errorf("job explanation = %+v", job)
+	}
+	// b ratios must multiply (e-weighted) back to Φ.
+	prod := 1.0
+	for _, p := range job.Periods {
+		prod *= math.Pow(p.Ratio, float64(p.Index))
+	}
+	if math.Abs(prod-job.Phi) > 1e-9 {
+		t.Errorf("Π b^e = %v, Φ = %v", prod, job.Phi)
+	}
+	// Ratios sum to m when every activity is inside the window.
+	sum := 0.0
+	for _, p := range job.Periods {
+		sum += p.Ratio
+	}
+	if math.Abs(sum-float64(job.M)) > 1e-9 {
+		t.Errorf("Σ b = %v, want m = %d", sum, job.M)
+	}
+}
+
+func TestExplainEmptyHistory(t *testing.T) {
+	e := NewEvaluator(p7)
+	e.AddType("job", Operation)
+	x := e.Explain(5, tc)
+	if len(x.Types) != 1 || x.Types[0].Phi != 1.0 || x.Types[0].Activities != 0 {
+		t.Fatalf("empty explanation = %+v", x.Types)
+	}
+	if x.Rank != NewUserRank() {
+		t.Fatalf("rank = %+v", x.Rank)
+	}
+	if !strings.Contains(x.String(), "Both Inactive") {
+		t.Error("string missing group")
+	}
+}
+
+func TestExplainMarksEmptyPeriods(t *testing.T) {
+	e := NewEvaluator(p7)
+	jt := e.AddType("job", Operation)
+	// Gap in the middle: period 2 of 3 is empty.
+	e.Record(jt, 0, tc.Add(-timeutil.Days(17)), 5)
+	e.Record(jt, 0, tc.Add(-timeutil.Days(2)), 5)
+	x := e.Explain(0, tc)
+	job := x.Types[0]
+	if job.Phi != 0 {
+		t.Fatalf("Φ = %v, want 0", job.Phi)
+	}
+	empties := 0
+	for _, p := range job.Periods {
+		if p.Impact == 0 {
+			empties++
+		}
+	}
+	if empties == 0 {
+		t.Fatal("no empty period reported despite Φ = 0")
+	}
+	if !strings.Contains(x.String(), "empty period zeroes") {
+		t.Error("string missing empty-period marker")
+	}
+}
+
+func TestExplainElidesLongHistories(t *testing.T) {
+	e := NewEvaluator(p7)
+	jt := e.AddType("job", Operation)
+	for back := 0; back < 40; back++ {
+		e.Record(jt, 0, tc.Add(-timeutil.Duration(back)*p7-timeutil.Hour), 1)
+	}
+	x := e.Explain(0, tc)
+	s := x.String()
+	if !strings.Contains(s, "older periods elided") {
+		t.Fatalf("long history not elided:\n%s", s)
+	}
+}

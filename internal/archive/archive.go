@@ -1,0 +1,65 @@
+// Package archive models the archival tier behind the scratch file
+// system. The paper motivates ActiveDR by the cost of a file miss:
+// "it can take hours to days for the users to recover their data by
+// either re-transmission or re-generation". This model turns the
+// emulator's miss counts into that cost — a per-file recall latency
+// (tape mount/seek, staging queue) plus streaming at a sustained
+// bandwidth.
+package archive
+
+import (
+	"fmt"
+	"time"
+)
+
+// Model describes an archive's restore performance.
+type Model struct {
+	// Name labels the model in reports.
+	Name string
+	// Bandwidth is the sustained restore stream in bytes/second.
+	Bandwidth float64
+	// PerFileLatency is the fixed cost of recalling one file (mount,
+	// seek, staging queue).
+	PerFileLatency time.Duration
+}
+
+// Validate rejects nonsensical models.
+func (m Model) Validate() error {
+	if m.Bandwidth <= 0 {
+		return fmt.Errorf("archive: non-positive bandwidth %v", m.Bandwidth)
+	}
+	if m.PerFileLatency < 0 {
+		return fmt.Errorf("archive: negative per-file latency")
+	}
+	return nil
+}
+
+// RestoreTime returns the wall-clock time to recall the given files
+// and bytes through one stream.
+func (m Model) RestoreTime(files, bytes int64) time.Duration {
+	if files <= 0 && bytes <= 0 {
+		return 0
+	}
+	stream := time.Duration(float64(bytes) / m.Bandwidth * float64(time.Second))
+	return time.Duration(files)*m.PerFileLatency + stream
+}
+
+// String describes the model.
+func (m Model) String() string {
+	return fmt.Sprintf("%s (%.1f GB/s, %v/file)", m.Name, m.Bandwidth/1e9, m.PerFileLatency)
+}
+
+// Reference archive models.
+var (
+	// HPSSTape models a tape-backed HPSS archive: high recall latency,
+	// good streaming.
+	HPSSTape = Model{Name: "HPSS tape", Bandwidth: 1e9, PerFileLatency: 45 * time.Second}
+	// DiskArchive models a disk-based campaign-storage tier.
+	DiskArchive = Model{Name: "disk archive", Bandwidth: 5e9, PerFileLatency: 500 * time.Millisecond}
+	// WideArea models re-transmission from another site over a shared
+	// WAN link.
+	WideArea = Model{Name: "wide-area re-transmission", Bandwidth: 250e6, PerFileLatency: 2 * time.Second}
+)
+
+// Models lists the reference models.
+func Models() []Model { return []Model{HPSSTape, DiskArchive, WideArea} }

@@ -1,0 +1,49 @@
+package archive
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRestoreTime(t *testing.T) {
+	m := Model{Name: "test", Bandwidth: 1e9, PerFileLatency: 10 * time.Second}
+	// 6 files, 30 GB: 60s latency + 30s stream.
+	got := m.RestoreTime(6, 30e9)
+	if got != 90*time.Second {
+		t.Fatalf("RestoreTime = %v, want 90s", got)
+	}
+	if m.RestoreTime(0, 0) != 0 {
+		t.Fatal("zero restore should cost nothing")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Model{Bandwidth: 0}).Validate(); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	if err := (Model{Bandwidth: 1, PerFileLatency: -1}).Validate(); err == nil {
+		t.Error("negative latency accepted")
+	}
+	for _, m := range Models() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("reference model %s invalid: %v", m.Name, err)
+		}
+		if m.String() == "" {
+			t.Errorf("model %s has empty description", m.Name)
+		}
+	}
+}
+
+// Property: restore time is monotone in both files and bytes.
+func TestRestoreTimeMonotone(t *testing.T) {
+	m := HPSSTape
+	f := func(f1, f2 uint16, b1, b2 uint32) bool {
+		fa, fb := int64(f1), int64(f1)+int64(f2)
+		ba, bb := int64(b1), int64(b1)+int64(b2)
+		return m.RestoreTime(fa, ba) <= m.RestoreTime(fb, bb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

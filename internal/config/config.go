@@ -1,0 +1,55 @@
+// Package config carries the facility retention presets of the
+// paper's Table 1 and shared experiment defaults.
+package config
+
+import (
+	"fmt"
+
+	"activedr/internal/timeutil"
+)
+
+// Facility is one row of Table 1: an HPC site and its production
+// fixed-lifetime scratch retention policy.
+type Facility struct {
+	Name     string
+	Scratch  string
+	Lifetime timeutil.Duration
+}
+
+// Facilities lists the Table 1 presets.
+func Facilities() []Facility {
+	return []Facility{
+		{Name: "NCAR", Scratch: "GLADE", Lifetime: timeutil.Days(120)},
+		{Name: "OLCF", Scratch: "Spider", Lifetime: timeutil.Days(90)},
+		{Name: "TACC", Scratch: "SCRATCH", Lifetime: timeutil.Days(30)},
+		{Name: "NERSC", Scratch: "Lustre scratch", Lifetime: timeutil.Days(12 * 7)},
+	}
+}
+
+// FacilityByName looks a preset up case-sensitively.
+func FacilityByName(name string) (Facility, error) {
+	for _, f := range Facilities() {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return Facility{}, fmt.Errorf("config: unknown facility %q", name)
+}
+
+// Paper-wide experiment constants (§4.1.3).
+const (
+	// TargetUtilization is the purge target: usage is brought down to
+	// this fraction of capacity.
+	TargetUtilization = 0.5
+	// RetroPasses and RetroDecay configure the retrospective scans.
+	RetroPasses = 5
+	RetroDecay  = 0.8
+)
+
+// TriggerInterval is the purge trigger cadence (7 days at OLCF).
+var TriggerInterval = timeutil.Days(7)
+
+// PeriodLengths are the lifetime/period sweep of Figures 5 and 9–11.
+var PeriodLengths = []timeutil.Duration{
+	timeutil.Days(7), timeutil.Days(30), timeutil.Days(60), timeutil.Days(90),
+}

@@ -1,0 +1,129 @@
+// Package parallel provides the sharded worker pool the retention
+// prototype uses to scan metadata snapshots, mirroring the paper's
+// mpi4py ranks: work is split into contiguous shards, one goroutine
+// per rank, with per-rank timing probes feeding the Figure 12
+// performance evaluation.
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Pool runs sharded work across a fixed number of ranks.
+type Pool struct {
+	ranks int
+}
+
+// NewPool builds a pool with the given number of ranks; ranks ≤ 0
+// selects GOMAXPROCS.
+func NewPool(ranks int) *Pool {
+	if ranks <= 0 {
+		ranks = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{ranks: ranks}
+}
+
+// Ranks returns the pool width.
+func (p *Pool) Ranks() int { return p.ranks }
+
+// Shards splits n items into at most Ranks() contiguous [lo, hi)
+// ranges of near-equal size.
+func (p *Pool) Shards(n int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	k := p.ranks
+	if k > n {
+		k = n
+	}
+	out := make([][2]int, 0, k)
+	base, rem := n/k, n%k
+	lo := 0
+	for i := 0; i < k; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		out = append(out, [2]int{lo, lo + size})
+		lo += size
+	}
+	return out
+}
+
+// ForEachShard runs fn(rank, lo, hi) concurrently over the shards of
+// n items and blocks until all ranks finish.
+func (p *Pool) ForEachShard(n int, fn func(rank, lo, hi int)) {
+	shards := p.Shards(n)
+	var wg sync.WaitGroup
+	for r, s := range shards {
+		wg.Add(1)
+		go func(rank, lo, hi int) {
+			defer wg.Done()
+			fn(rank, lo, hi)
+		}(r, s[0], s[1])
+	}
+	wg.Wait()
+}
+
+// RankTiming records one rank's wall-clock work, the per-rank probe
+// of the paper's Figure 12b–d.
+type RankTiming struct {
+	Rank    int
+	Items   int
+	Elapsed time.Duration
+}
+
+// String renders the timing as one report line.
+func (t RankTiming) String() string {
+	return fmt.Sprintf("rank %2d: items=%d elapsed=%v", t.Rank, t.Items, t.Elapsed)
+}
+
+// TimedShards is ForEachShard with per-rank timing probes.
+func (p *Pool) TimedShards(n int, fn func(rank, lo, hi int)) []RankTiming {
+	shards := p.Shards(n)
+	timings := make([]RankTiming, len(shards))
+	var wg sync.WaitGroup
+	for r, s := range shards {
+		wg.Add(1)
+		go func(rank, lo, hi int) {
+			defer wg.Done()
+			start := time.Now()
+			fn(rank, lo, hi)
+			timings[rank] = RankTiming{Rank: rank, Items: hi - lo, Elapsed: time.Since(start)}
+		}(r, s[0], s[1])
+	}
+	wg.Wait()
+	return timings
+}
+
+// Run executes the tasks across the pool, collecting every error
+// (joined) and recovering panics into errors so one bad shard cannot
+// take the scan down.
+func (p *Pool) Run(tasks []func() error) error {
+	if len(tasks) == 0 {
+		return nil
+	}
+	sem := make(chan struct{}, p.ranks)
+	errs := make([]error, len(tasks))
+	var wg sync.WaitGroup
+	for i, task := range tasks {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, task func() error) {
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("parallel: task %d panicked: %v", i, r)
+				}
+				<-sem
+				wg.Done()
+			}()
+			errs[i] = task()
+		}(i, task)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}

@@ -1,0 +1,117 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestShardsCoverExactly(t *testing.T) {
+	f := func(nRaw uint16, ranksRaw uint8) bool {
+		n := int(nRaw % 5000)
+		p := NewPool(int(ranksRaw%32) + 1)
+		shards := p.Shards(n)
+		if n == 0 {
+			return len(shards) == 0
+		}
+		covered := 0
+		prev := 0
+		for _, s := range shards {
+			if s[0] != prev || s[1] <= s[0] {
+				return false
+			}
+			covered += s[1] - s[0]
+			prev = s[1]
+		}
+		if covered != n || prev != n {
+			return false
+		}
+		// Shard sizes differ by at most 1.
+		min, max := n, 0
+		for _, s := range shards {
+			size := s[1] - s[0]
+			if size < min {
+				min = size
+			}
+			if size > max {
+				max = size
+			}
+		}
+		return max-min <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewPoolDefaults(t *testing.T) {
+	if NewPool(0).Ranks() <= 0 {
+		t.Fatal("default pool has no ranks")
+	}
+	if NewPool(7).Ranks() != 7 {
+		t.Fatal("explicit rank count ignored")
+	}
+}
+
+func TestForEachShardVisitsAll(t *testing.T) {
+	p := NewPool(4)
+	const n = 1000
+	var hits [n]int32
+	p.ForEachShard(n, func(rank, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("item %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestTimedShards(t *testing.T) {
+	p := NewPool(3)
+	var total int64
+	timings := p.TimedShards(100, func(rank, lo, hi int) {
+		atomic.AddInt64(&total, int64(hi-lo))
+	})
+	if len(timings) != 3 {
+		t.Fatalf("timings = %d ranks", len(timings))
+	}
+	items := 0
+	for _, tm := range timings {
+		if tm.Elapsed < 0 {
+			t.Errorf("rank %d negative elapsed", tm.Rank)
+		}
+		items += tm.Items
+		if tm.String() == "" {
+			t.Error("empty timing string")
+		}
+	}
+	if items != 100 || total != 100 {
+		t.Fatalf("items = %d, total = %d", items, total)
+	}
+}
+
+func TestRunCollectsErrors(t *testing.T) {
+	p := NewPool(2)
+	sentinel := errors.New("boom")
+	err := p.Run([]func() error{
+		func() error { return nil },
+		func() error { return sentinel },
+		func() error { panic("ouch") },
+	})
+	if err == nil {
+		t.Fatal("errors lost")
+	}
+	if !errors.Is(err, sentinel) {
+		t.Error("sentinel error not joined")
+	}
+	if err.Error() == "" {
+		t.Error("empty error text")
+	}
+	if p.Run(nil) != nil {
+		t.Error("empty task list errored")
+	}
+}

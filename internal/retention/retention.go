@@ -1,0 +1,502 @@
+// Package retention implements the data-retention (purge) policies
+// the paper evaluates: the fixed-lifetime baseline (FLT) used across
+// HPC facilities (Table 1) and the activeness-based ActiveDR
+// procedure of §3.4 — activeness-ordered user scans, per-user file
+// lifetime adjustment (Eq. 7), purge-target stop, retrospective group
+// passes with rank decay, and purge exemption via a reserved-path
+// prefix tree.
+package retention
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"activedr/internal/activeness"
+	"activedr/internal/timeutil"
+	"activedr/internal/trace"
+	"activedr/internal/vfs"
+)
+
+// Policy is a purge procedure over the virtual file system. ranks
+// holds the activeness rank of every user (indexed by UserID) as
+// evaluated at tc; policies that do not use activeness (FLT) still
+// receive it so reports can attribute purges to activeness groups.
+type Policy interface {
+	Name() string
+	Purge(fsys *vfs.FS, ranks []activeness.Rank, tc timeutil.Time) *Report
+}
+
+// GroupStats aggregates one activeness group's slice of a purge pass.
+type GroupStats struct {
+	Users         int   // users classified into the group
+	FilesBefore   int64 // files owned by the group before the pass
+	BytesBefore   int64 // bytes owned by the group before the pass
+	PurgedFiles   int64
+	PurgedBytes   int64
+	AffectedUsers int // users who lost at least one file
+}
+
+// RetainedFiles returns the files surviving the pass.
+func (g GroupStats) RetainedFiles() int64 { return g.FilesBefore - g.PurgedFiles }
+
+// RetainedBytes returns the bytes surviving the pass.
+func (g GroupStats) RetainedBytes() int64 { return g.BytesBefore - g.PurgedBytes }
+
+// Report is the outcome of one purge pass.
+type Report struct {
+	Policy        string
+	At            timeutil.Time
+	FilesBefore   int64
+	BytesBefore   int64
+	TargetBytes   int64 // bytes the pass had to free; 0 = no target
+	PurgedFiles   int64
+	PurgedBytes   int64
+	SkippedExempt int64 // reserved files skipped
+	TargetReached bool  // true when a set target was met (or none was set)
+	RetroPasses   int   // retrospective passes actually executed
+	Groups        [activeness.NumGroups]GroupStats
+	// AffectedIDs lists every user who lost at least one file in this
+	// pass, in ascending order (Figure 11 counts distinct affected
+	// users across a run).
+	AffectedIDs []trace.UserID
+	// Victims lists every purged path in purge order. It is only
+	// collected when the policy's CollectVictims knob is set (dry-run
+	// and audit workflows); nil otherwise.
+	Victims []string
+	Elapsed time.Duration
+}
+
+// RetainedBytes returns the bytes surviving the pass.
+func (r *Report) RetainedBytes() int64 { return r.BytesBefore - r.PurgedBytes }
+
+// RetainedFiles returns the files surviving the pass.
+func (r *Report) RetainedFiles() int64 { return r.FilesBefore - r.PurgedFiles }
+
+// String summarizes the report in one line.
+func (r *Report) String() string {
+	return fmt.Sprintf("%s@%s: purged %d files (%.2f GB) of %d, target reached=%v",
+		r.Policy, r.At.DateString(), r.PurgedFiles,
+		float64(r.PurgedBytes)/1e9, r.FilesBefore, r.TargetReached)
+}
+
+// rankOf returns the user's rank, defaulting to the protective
+// new-user rank when the rank table is short or nil.
+func rankOf(ranks []activeness.Rank, u trace.UserID) activeness.Rank {
+	if int(u) < len(ranks) {
+		return ranks[u]
+	}
+	return activeness.NewUserRank()
+}
+
+// groupTotals seeds the per-group before-pass accounting.
+func groupTotals(fsys *vfs.FS, ranks []activeness.Rank, report *Report) map[trace.UserID][]string {
+	buckets := fsys.FilesByUser()
+	users := make(map[activeness.Group]map[trace.UserID]bool)
+	for u, paths := range buckets {
+		g := rankOf(ranks, u).Group()
+		if users[g] == nil {
+			users[g] = make(map[trace.UserID]bool)
+		}
+		users[g][u] = true
+		report.Groups[g].FilesBefore += int64(len(paths))
+		report.Groups[g].BytesBefore += fsys.UserBytes(u)
+	}
+	for g := range report.Groups {
+		report.Groups[g].Users = len(users[activeness.Group(g)])
+	}
+	return buckets
+}
+
+// FLT is the fixed-lifetime baseline: purge every non-reserved file
+// whose age exceeds Lifetime, scanning in system (lexicographic path)
+// order. Production FLT purges have no space target — staleness alone
+// decides — but StopAtTarget enables a target-stopped variant for
+// ablation.
+type FLT struct {
+	Lifetime     timeutil.Duration
+	Reserved     *vfs.ReservedSet
+	StopAtTarget bool
+	TargetBytes  func(used int64) int64 // optional; used with StopAtTarget
+	// CollectVictims records every purged path in Report.Victims.
+	CollectVictims bool
+}
+
+// Name identifies the policy.
+func (f *FLT) Name() string { return fmt.Sprintf("FLT-%s", f.Lifetime) }
+
+// Purge runs one fixed-lifetime purge pass at time tc.
+func (f *FLT) Purge(fsys *vfs.FS, ranks []activeness.Rank, tc timeutil.Time) *Report {
+	start := time.Now()
+	report := &Report{
+		Policy:      f.Name(),
+		At:          tc,
+		FilesBefore: int64(fsys.Count()),
+		BytesBefore: fsys.TotalBytes(),
+	}
+	var target int64
+	if f.StopAtTarget && f.TargetBytes != nil {
+		target = f.TargetBytes(fsys.TotalBytes())
+		if target < 0 {
+			target = 0
+		}
+		report.TargetBytes = target
+	}
+	_ = groupTotals(fsys, ranks, report) // accounting only
+	affected := make(map[trace.UserID]bool)
+	var stale []string
+	fsys.Walk(func(path string, m vfs.FileMeta) bool {
+		if f.StopAtTarget && target > 0 && report.PurgedBytes >= target {
+			return false
+		}
+		if tc.Sub(m.ATime) <= f.Lifetime {
+			return true
+		}
+		if f.Reserved.Covers(path) {
+			report.SkippedExempt++
+			return true
+		}
+		stale = append(stale, path)
+		g := rankOf(ranks, m.User).Group()
+		report.PurgedFiles++
+		report.PurgedBytes += m.Size
+		report.Groups[g].PurgedFiles++
+		report.Groups[g].PurgedBytes += m.Size
+		if !affected[m.User] {
+			affected[m.User] = true
+			report.Groups[g].AffectedUsers++
+		}
+		return true
+	})
+	// Removal happens after the walk: mutating the prefix tree during
+	// traversal would invalidate it.
+	for _, p := range stale {
+		fsys.Remove(p)
+	}
+	if f.CollectVictims {
+		report.Victims = stale
+	}
+	report.AffectedIDs = sortedIDs(affected)
+	report.TargetReached = !f.StopAtTarget || target == 0 || report.PurgedBytes >= target
+	report.Elapsed = time.Since(start)
+	return report
+}
+
+// sortedIDs flattens an affected-user set.
+func sortedIDs(set map[trace.UserID]bool) []trace.UserID {
+	ids := make([]trace.UserID, 0, len(set))
+	for u := range set {
+		ids = append(ids, u)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// ScanOrder selects how ActiveDR sequences users (DESIGN.md §3 item 8).
+type ScanOrder int
+
+const (
+	// ScanOrderGroups processes the four groups strictly in ascending
+	// activeness order, users within a group ascending by (Φ_op, Φ_oc).
+	ScanOrderGroups ScanOrder = iota
+	// ScanOrderMergedByOutcome is the alternative reading of §3.4:
+	// both-inactive then outcome-active-only, then the two
+	// operation-active groups merged and sorted ascending by Φ_oc.
+	ScanOrderMergedByOutcome
+)
+
+// Config parameterizes ActiveDR.
+type Config struct {
+	// Lifetime is the initial file lifetime d handed to new and
+	// both-inactive users; active users' lifetimes scale from it
+	// (Eq. 7).
+	Lifetime timeutil.Duration
+	// Capacity is the scratch capacity in bytes; the paper uses the
+	// total size of the reference snapshot.
+	Capacity int64
+	// TargetUtilization is the fraction of Capacity the purge must
+	// bring usage down to (the paper: 0.5). Zero disables the target,
+	// making every stale file eligible.
+	TargetUtilization float64
+	// RetroPasses bounds the retrospective re-scans per group
+	// (paper: 5).
+	RetroPasses int
+	// RetroDecay is the per-pass rank decay (paper: 0.8, i.e. −20%).
+	RetroDecay float64
+	// MinLifetime, when positive, protects any file accessed within
+	// it from ActiveDR purges regardless of the owner's rank — a
+	// hygiene floor so rank-zero users' in-flight files survive
+	// between purge triggers. The replay emulator sets it to the
+	// trigger interval.
+	MinLifetime timeutil.Duration
+	// Reserved is the purge-exemption list.
+	Reserved *vfs.ReservedSet
+	// StrictEq7 applies the literal Eq. (7) product with no
+	// inactive-class flooring (ablation).
+	StrictEq7 bool
+	// Order selects the user scan order.
+	Order ScanOrder
+	// CollectVictims records every purged path in Report.Victims
+	// (dry-run and audit workflows).
+	CollectVictims bool
+}
+
+// Defaults fills unset knobs with the paper's values.
+func (c Config) Defaults() Config {
+	if c.Lifetime == 0 {
+		c.Lifetime = timeutil.Days(90)
+	}
+	if c.RetroPasses == 0 {
+		c.RetroPasses = 5
+	}
+	if c.RetroDecay == 0 {
+		c.RetroDecay = 0.8
+	}
+	return c
+}
+
+// Validate rejects nonsensical configurations.
+func (c Config) Validate() error {
+	if c.Lifetime <= 0 {
+		return fmt.Errorf("retention: non-positive lifetime %v", c.Lifetime)
+	}
+	if c.TargetUtilization < 0 || c.TargetUtilization > 1 {
+		return fmt.Errorf("retention: target utilization %v outside [0,1]", c.TargetUtilization)
+	}
+	if c.TargetUtilization > 0 && c.Capacity <= 0 {
+		return fmt.Errorf("retention: target utilization set without capacity")
+	}
+	if c.RetroPasses < 0 {
+		return fmt.Errorf("retention: negative retro passes")
+	}
+	if c.RetroDecay <= 0 || c.RetroDecay > 1 {
+		return fmt.Errorf("retention: retro decay %v outside (0,1]", c.RetroDecay)
+	}
+	return nil
+}
+
+// ActiveDR is the activeness-based data-retention policy (§3.4).
+type ActiveDR struct {
+	cfg Config
+}
+
+// NewActiveDR builds the policy, applying defaults and validating.
+func NewActiveDR(cfg Config) (*ActiveDR, error) {
+	cfg = cfg.Defaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &ActiveDR{cfg: cfg}, nil
+}
+
+// Name identifies the policy.
+func (a *ActiveDR) Name() string { return fmt.Sprintf("ActiveDR-%s", a.cfg.Lifetime) }
+
+// Config returns the effective configuration.
+func (a *ActiveDR) Config() Config { return a.cfg }
+
+// scanUser is one user's position in the scan sequence.
+type scanUser struct {
+	id   trace.UserID
+	rank activeness.Rank
+}
+
+// orderUsers buckets users into scan phases. Each phase is processed
+// to exhaustion (including retrospective passes) before the next.
+func (a *ActiveDR) orderUsers(buckets map[trace.UserID][]string, ranks []activeness.Rank) [][]scanUser {
+	byGroup := make([][]scanUser, activeness.NumGroups)
+	for u := range buckets {
+		r := rankOf(ranks, u)
+		g := r.Group()
+		byGroup[g] = append(byGroup[g], scanUser{id: u, rank: r})
+	}
+	ascOpOc := func(us []scanUser) {
+		sort.Slice(us, func(i, j int) bool {
+			if us[i].rank.Op != us[j].rank.Op {
+				return us[i].rank.Op < us[j].rank.Op
+			}
+			if us[i].rank.Oc != us[j].rank.Oc {
+				return us[i].rank.Oc < us[j].rank.Oc
+			}
+			return us[i].id < us[j].id
+		})
+	}
+	ascOcOp := func(us []scanUser) {
+		sort.Slice(us, func(i, j int) bool {
+			if us[i].rank.Oc != us[j].rank.Oc {
+				return us[i].rank.Oc < us[j].rank.Oc
+			}
+			if us[i].rank.Op != us[j].rank.Op {
+				return us[i].rank.Op < us[j].rank.Op
+			}
+			return us[i].id < us[j].id
+		})
+	}
+	switch a.cfg.Order {
+	case ScanOrderMergedByOutcome:
+		merged := append(append([]scanUser(nil),
+			byGroup[activeness.OperationActiveOnly]...),
+			byGroup[activeness.BothActive]...)
+		ascOcOp(merged)
+		ascOpOc(byGroup[activeness.BothInactive])
+		ascOpOc(byGroup[activeness.OutcomeActiveOnly])
+		return [][]scanUser{
+			byGroup[activeness.BothInactive],
+			byGroup[activeness.OutcomeActiveOnly],
+			merged,
+		}
+	default:
+		phases := make([][]scanUser, 0, activeness.NumGroups)
+		for _, g := range activeness.Groups() {
+			ascOpOc(byGroup[g])
+			phases = append(phases, byGroup[g])
+		}
+		return phases
+	}
+}
+
+// lifetime computes the user's adjusted file lifetime ε (Eq. 7) for a
+// given retrospective pass.
+func (a *ActiveDR) lifetime(r activeness.Rank, pass int) timeutil.Duration {
+	mult := r.LifetimeMultiplier()
+	if a.cfg.StrictEq7 {
+		mult = r.StrictEq7Multiplier()
+	}
+	decayed := mult * math.Pow(a.cfg.RetroDecay, float64(pass))
+	eps := float64(a.cfg.Lifetime) * decayed
+	if eps >= float64(math.MaxInt64) {
+		return timeutil.Duration(math.MaxInt64)
+	}
+	e := timeutil.Duration(eps)
+	// Retrospective decay claws back the activeness *reward*, never
+	// the baseline: an active user (multiplier ≥ 1) is never treated
+	// worse than under plain FLT.
+	if mult >= 1 && e < a.cfg.Lifetime {
+		e = a.cfg.Lifetime
+	}
+	if e < a.cfg.MinLifetime {
+		e = a.cfg.MinLifetime
+	}
+	return e
+}
+
+// Purge runs one ActiveDR retention pass at time tc.
+func (a *ActiveDR) Purge(fsys *vfs.FS, ranks []activeness.Rank, tc timeutil.Time) *Report {
+	start := time.Now()
+	report := &Report{
+		Policy:      a.Name(),
+		At:          tc,
+		FilesBefore: int64(fsys.Count()),
+		BytesBefore: fsys.TotalBytes(),
+	}
+	var target int64
+	if a.cfg.TargetUtilization > 0 {
+		target = fsys.TotalBytes() - int64(a.cfg.TargetUtilization*float64(a.cfg.Capacity))
+		if target < 0 {
+			target = 0
+		}
+		report.TargetBytes = target
+	}
+	buckets := groupTotals(fsys, ranks, report)
+	if a.cfg.TargetUtilization > 0 && target == 0 {
+		// Usage is already at or below the target: nothing to purge.
+		report.TargetReached = true
+		report.Elapsed = time.Since(start)
+		return report
+	}
+	reached := func() bool { return target > 0 && report.PurgedBytes >= target }
+	affected := make(map[trace.UserID]bool)
+
+	phases := a.orderUsers(buckets, ranks)
+phaseLoop:
+	for _, phase := range phases {
+		for pass := 0; pass <= a.cfg.RetroPasses; pass++ {
+			if pass > 0 && len(phase) > 0 {
+				report.RetroPasses++
+			}
+			for _, su := range phase {
+				eps := a.lifetime(su.rank, pass)
+				g := su.rank.Group()
+				for _, path := range buckets[su.id] {
+					m, ok := fsys.Lookup(path)
+					if !ok {
+						continue // purged on an earlier pass
+					}
+					if tc.Sub(m.ATime) <= eps {
+						continue
+					}
+					if a.cfg.Reserved.Covers(path) {
+						if pass == 0 {
+							report.SkippedExempt++
+						}
+						continue
+					}
+					fsys.Remove(path)
+					if a.cfg.CollectVictims {
+						report.Victims = append(report.Victims, path)
+					}
+					report.PurgedFiles++
+					report.PurgedBytes += m.Size
+					report.Groups[g].PurgedFiles++
+					report.Groups[g].PurgedBytes += m.Size
+					if !affected[su.id] {
+						affected[su.id] = true
+						report.Groups[g].AffectedUsers++
+					}
+					if reached() {
+						break phaseLoop
+					}
+				}
+			}
+			if target == 0 {
+				break // no target: a single pass per phase suffices
+			}
+			if reached() {
+				break phaseLoop
+			}
+		}
+	}
+	report.AffectedIDs = sortedIDs(affected)
+	report.TargetReached = target == 0 || report.PurgedBytes >= target
+	report.Elapsed = time.Since(start)
+	return report
+}
+
+// Plan runs a policy against a throwaway copy of the file system and
+// returns the purge report with the victim list populated — a dry
+// run: the input file system is left untouched. The policy's own
+// CollectVictims knob is not required; Plan forces collection via the
+// planner interface both built-in policies implement.
+func Plan(p Policy, fsys *vfs.FS, ranks []activeness.Rank, tc timeutil.Time) *Report {
+	clone := fsys.Clone()
+	if c, ok := p.(victimCollector); ok {
+		restore := c.setCollectVictims(true)
+		defer restore()
+	}
+	return p.Purge(clone, ranks, tc)
+}
+
+// victimCollector lets Plan force victim collection on a policy.
+type victimCollector interface {
+	setCollectVictims(bool) (restore func())
+}
+
+func (f *FLT) setCollectVictims(v bool) func() {
+	prev := f.CollectVictims
+	f.CollectVictims = v
+	return func() { f.CollectVictims = prev }
+}
+
+func (a *ActiveDR) setCollectVictims(v bool) func() {
+	prev := a.cfg.CollectVictims
+	a.cfg.CollectVictims = v
+	return func() { a.cfg.CollectVictims = prev }
+}
+
+var (
+	_ Policy          = (*FLT)(nil)
+	_ Policy          = (*ActiveDR)(nil)
+	_ victimCollector = (*FLT)(nil)
+	_ victimCollector = (*ActiveDR)(nil)
+)

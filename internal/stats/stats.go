@@ -1,0 +1,301 @@
+// Package stats implements the statistical summaries the paper's
+// figures report: range-bucketed day counts (Figures 1 and 6), box
+// statistics with means (Figure 8), and general running summaries
+// used across the benchmark harness.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary accumulates count/sum/min/max and Welford mean/variance in
+// one pass. The zero value is ready to use.
+type Summary struct {
+	n        int64
+	mean, m2 float64
+	sum      float64
+	min, max float64
+}
+
+// Add folds x into the summary.
+func (s *Summary) Add(x float64) {
+	if s.n == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.n++
+	s.sum += x
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int64 { return s.n }
+
+// Sum returns the total of all observations.
+func (s *Summary) Sum() float64 { return s.sum }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation, or 0 with none.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 with none.
+func (s *Summary) Max() float64 { return s.max }
+
+// Variance returns the population variance.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n)
+}
+
+// Stddev returns the population standard deviation.
+func (s *Summary) Stddev() float64 { return math.Sqrt(s.Variance()) }
+
+// Box holds the five-number summary plus the mean, as drawn in the
+// paper's Figure 8 box plot (the green triangle is the mean).
+type Box struct {
+	N      int
+	Min    float64
+	Q1     float64
+	Median float64
+	Q3     float64
+	Max    float64
+	Mean   float64
+}
+
+// NewBox computes box statistics over xs. It copies and sorts its
+// input; an empty input yields a zero Box.
+func NewBox(xs []float64) Box {
+	if len(xs) == 0 {
+		return Box{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	var sum float64
+	for _, x := range s {
+		sum += x
+	}
+	return Box{
+		N:      len(s),
+		Min:    s[0],
+		Q1:     Quantile(s, 0.25),
+		Median: Quantile(s, 0.5),
+		Q3:     Quantile(s, 0.75),
+		Max:    s[len(s)-1],
+		Mean:   sum / float64(len(s)),
+	}
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of sorted data using
+// linear interpolation between order statistics (type-7, the
+// default of most statistics packages).
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String renders the box as one line.
+func (b Box) String() string {
+	return fmt.Sprintf("n=%d min=%.4f q1=%.4f med=%.4f q3=%.4f max=%.4f mean=%.4f",
+		b.N, b.Min, b.Q1, b.Median, b.Q3, b.Max, b.Mean)
+}
+
+// RangeBuckets buckets values into labelled half-open ranges
+// [lo, hi), as in the paper's "Miss Ratio Ranges" histograms. Values
+// below the first bound or at/above the last are dropped (Figure 1
+// likewise omits days with <1% misses from the range histogram).
+type RangeBuckets struct {
+	bounds []float64
+	counts []int
+}
+
+// MissRatioBounds are the bucket edges of Figures 1 and 6:
+// 1%-5%, 5%-10%, 10%-20%, …, 90%-100%.
+var MissRatioBounds = []float64{0.01, 0.05, 0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90, 1.0000001}
+
+// NewRangeBuckets builds buckets from ascending bounds; bucket i
+// covers [bounds[i], bounds[i+1]). At least two bounds are required.
+func NewRangeBuckets(bounds []float64) *RangeBuckets {
+	if len(bounds) < 2 {
+		panic("stats: NewRangeBuckets needs at least two bounds")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("stats: NewRangeBuckets bounds must ascend")
+		}
+	}
+	return &RangeBuckets{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]int, len(bounds)-1),
+	}
+}
+
+// NewMissRatioBuckets builds the paper's miss-ratio range histogram.
+func NewMissRatioBuckets() *RangeBuckets { return NewRangeBuckets(MissRatioBounds) }
+
+// Add counts x into its bucket; out-of-range values are ignored and
+// reported false.
+func (r *RangeBuckets) Add(x float64) bool {
+	if x < r.bounds[0] || x >= r.bounds[len(r.bounds)-1] {
+		return false
+	}
+	// Binary search for the bucket.
+	lo, hi := 0, len(r.counts)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if r.bounds[mid] <= x {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	r.counts[lo]++
+	return true
+}
+
+// Len returns the number of buckets.
+func (r *RangeBuckets) Len() int { return len(r.counts) }
+
+// Count returns the count in bucket i.
+func (r *RangeBuckets) Count(i int) int { return r.counts[i] }
+
+// Counts returns a copy of all bucket counts.
+func (r *RangeBuckets) Counts() []int { return append([]int(nil), r.counts...) }
+
+// Label returns the "lo%-hi%" label of bucket i.
+func (r *RangeBuckets) Label(i int) string {
+	return fmt.Sprintf("%s-%s", percent(r.bounds[i]), percent(r.bounds[i+1]))
+}
+
+// Labels returns all bucket labels.
+func (r *RangeBuckets) Labels() []string {
+	out := make([]string, r.Len())
+	for i := range out {
+		out[i] = r.Label(i)
+	}
+	return out
+}
+
+// Total returns the number of values counted (excluding dropped).
+func (r *RangeBuckets) Total() int {
+	t := 0
+	for _, c := range r.counts {
+		t += c
+	}
+	return t
+}
+
+// CountAtLeast sums the counts of buckets whose lower bound is ≥ lo.
+// The paper's "days with more than 5% file misses" is
+// CountAtLeast(0.05).
+func (r *RangeBuckets) CountAtLeast(lo float64) int {
+	t := 0
+	for i := range r.counts {
+		if r.bounds[i] >= lo-1e-12 {
+			t += r.counts[i]
+		}
+	}
+	return t
+}
+
+func percent(x float64) string {
+	p := x * 100
+	if p > 99.999 && p < 101 {
+		p = 100
+	}
+	if p == math.Trunc(p) {
+		return fmt.Sprintf("%d%%", int(p))
+	}
+	return fmt.Sprintf("%.4g%%", p)
+}
+
+// Counter is a string-keyed tally with deterministic iteration order.
+type Counter struct {
+	m map[string]int64
+}
+
+// NewCounter returns an empty Counter.
+func NewCounter() *Counter { return &Counter{m: make(map[string]int64)} }
+
+// Add increments key by delta.
+func (c *Counter) Add(key string, delta int64) { c.m[key] += delta }
+
+// Get returns the tally for key (0 if absent).
+func (c *Counter) Get(key string) int64 { return c.m[key] }
+
+// Keys returns the keys in sorted order.
+func (c *Counter) Keys() []string {
+	keys := make([]string, 0, len(c.m))
+	for k := range c.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Total sums all tallies.
+func (c *Counter) Total() int64 {
+	var t int64
+	for _, v := range c.m {
+		t += v
+	}
+	return t
+}
+
+// String renders the counter as "k1=v1 k2=v2 …" in key order.
+func (c *Counter) String() string {
+	var b strings.Builder
+	for i, k := range c.Keys() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", k, c.m[k])
+	}
+	return b.String()
+}
+
+// Ratio safely divides a by b, returning 0 when b is 0.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// ReductionRatio returns (base − improved)/base, the paper's "file
+// miss reduction ratio"; it is 0 when base is 0.
+func ReductionRatio(base, improved float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (base - improved) / base
+}

@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"activedr/internal/timeutil"
+)
+
+// The paper's Table 2 lists activity types beyond job submissions and
+// publications: shell logins, file accesses, and data-transfer
+// operations on the operations side. Login and Transfer make those
+// trackable first-class trace kinds; administrators can feed any
+// subset into the activeness evaluator.
+
+// Login is one shell-login record. Its activeness impact is a
+// constant 1 per login (frequency is the signal).
+type Login struct {
+	User UserID
+	TS   timeutil.Time
+}
+
+// TransferDir distinguishes ingest from retrieval.
+type TransferDir int
+
+const (
+	// TransferIn moves data onto the scratch system.
+	TransferIn TransferDir = iota
+	// TransferOut moves data off it.
+	TransferOut
+)
+
+// String names the direction.
+func (d TransferDir) String() string {
+	if d == TransferIn {
+		return "in"
+	}
+	return "out"
+}
+
+// Transfer is one data-transfer-operation record (e.g. a Globus or
+// hsi session). Its activeness impact is the moved gigabytes.
+type Transfer struct {
+	User  UserID
+	TS    timeutil.Time
+	Dir   TransferDir
+	Bytes int64
+}
+
+// Impact returns the transfer's activeness impact in gigabytes.
+func (t Transfer) Impact() float64 { return float64(t.Bytes) / 1e9 }
+
+// Optional dataset files for the extra activity kinds.
+const (
+	LoginsFile    = "logins.tsv.gz"
+	TransfersFile = "transfers.tsv.gz"
+)
+
+// WriteLogins writes a login log as TSV: ts, user.
+func WriteLogins(w io.Writer, users []User, logins []Login) error {
+	bw := bufio.NewWriter(w)
+	for i := range logins {
+		l := &logins[i]
+		if _, err := fmt.Fprintf(bw, "%d\t%s\n", int64(l.TS), users[l.User].Name); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadLogins parses a login log.
+func ReadLogins(r io.Reader, byName map[string]UserID) ([]Login, error) {
+	ls := newLineScanner(r, LoginsFile)
+	var logins []Login
+	for ls.scan() {
+		line := ls.text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, "\t")
+		if len(parts) != 2 {
+			return nil, ls.errorf("want 2 fields, got %d", len(parts))
+		}
+		ts, err := parseInt(parts[0])
+		if err != nil {
+			return nil, ls.errorf("bad timestamp %q", parts[0])
+		}
+		uid, ok := byName[parts[1]]
+		if !ok {
+			return nil, ls.errorf("unknown user %q", parts[1])
+		}
+		logins = append(logins, Login{User: uid, TS: timeutil.Time(ts)})
+	}
+	if err := ls.err(); err != nil {
+		return nil, err
+	}
+	return logins, nil
+}
+
+// WriteTransfers writes a transfer log as TSV: ts, user, dir, bytes.
+func WriteTransfers(w io.Writer, users []User, xs []Transfer) error {
+	bw := bufio.NewWriter(w)
+	for i := range xs {
+		t := &xs[i]
+		if _, err := fmt.Fprintf(bw, "%d\t%s\t%s\t%d\n",
+			int64(t.TS), users[t.User].Name, t.Dir, t.Bytes); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTransfers parses a transfer log.
+func ReadTransfers(r io.Reader, byName map[string]UserID) ([]Transfer, error) {
+	ls := newLineScanner(r, TransfersFile)
+	var xs []Transfer
+	for ls.scan() {
+		line := ls.text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, "\t")
+		if len(parts) != 4 {
+			return nil, ls.errorf("want 4 fields, got %d", len(parts))
+		}
+		ts, err1 := parseInt(parts[0])
+		bytes, err2 := parseInt(parts[3])
+		if err1 != nil || err2 != nil {
+			return nil, ls.errorf("bad numeric field in %q", line)
+		}
+		uid, ok := byName[parts[1]]
+		if !ok {
+			return nil, ls.errorf("unknown user %q", parts[1])
+		}
+		var dir TransferDir
+		switch parts[2] {
+		case "in":
+			dir = TransferIn
+		case "out":
+			dir = TransferOut
+		default:
+			return nil, ls.errorf("bad direction %q", parts[2])
+		}
+		if bytes < 0 {
+			return nil, ls.errorf("negative transfer size")
+		}
+		xs = append(xs, Transfer{User: uid, TS: timeutil.Time(ts), Dir: dir, Bytes: bytes})
+	}
+	if err := ls.err(); err != nil {
+		return nil, err
+	}
+	return xs, nil
+}

@@ -1,0 +1,583 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"activedr/internal/timeutil"
+)
+
+// Standard file names inside a dataset directory.
+const (
+	UsersFile    = "users.tsv"
+	JobsFile     = "jobs.tsv.gz"
+	AccessesFile = "accesses.tsv.gz"
+	PubsFile     = "publications.tsv"
+	SnapshotFile = "snapshot.tsv.gz"
+)
+
+// openReader opens path, transparently ungzipping *.gz. The returned
+// closer closes both layers.
+func openReader(path string) (io.Reader, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !strings.HasSuffix(path, ".gz") {
+		return f, f.Close, nil
+	}
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("trace: open %s: %w", path, err)
+	}
+	return gz, func() error {
+		gerr := gz.Close()
+		ferr := f.Close()
+		if gerr != nil {
+			return gerr
+		}
+		return ferr
+	}, nil
+}
+
+// openWriter creates path, transparently gzipping *.gz.
+func openWriter(path string) (io.Writer, func() error, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if !strings.HasSuffix(path, ".gz") {
+		return bw, func() error {
+			if err := bw.Flush(); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}, nil
+	}
+	gz := gzip.NewWriter(bw)
+	return gz, func() error {
+		if err := gz.Close(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}, nil
+}
+
+// lineScanner wraps bufio.Scanner with a large buffer (snapshot rows
+// carry long paths) and line counting for error messages.
+type lineScanner struct {
+	s    *bufio.Scanner
+	line int
+	name string
+}
+
+func newLineScanner(r io.Reader, name string) *lineScanner {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	return &lineScanner{s: s, name: name}
+}
+
+func (l *lineScanner) scan() bool {
+	ok := l.s.Scan()
+	if ok {
+		l.line++
+	}
+	return ok
+}
+
+func (l *lineScanner) text() string { return l.s.Text() }
+
+func (l *lineScanner) err() error {
+	if e := l.s.Err(); e != nil {
+		return fmt.Errorf("trace: %s line %d: %w", l.name, l.line+1, e)
+	}
+	return nil
+}
+
+func (l *lineScanner) errorf(format string, args ...any) error {
+	return fmt.Errorf("trace: %s line %d: %s", l.name, l.line, fmt.Sprintf(format, args...))
+}
+
+func parseInt(s string) (int64, error) { return strconv.ParseInt(s, 10, 64) }
+
+// --- users ---
+
+// WriteUsers writes the user list as TSV: name, created, archetype.
+func WriteUsers(w io.Writer, users []User) error {
+	bw := bufio.NewWriter(w)
+	for i := range users {
+		u := &users[i]
+		if _, err := fmt.Fprintf(bw, "%s\t%d\t%s\n", u.Name, int64(u.Created), u.Archetype); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadUsers parses a user list, assigning dense IDs in file order.
+func ReadUsers(r io.Reader) ([]User, error) {
+	ls := newLineScanner(r, UsersFile)
+	var users []User
+	for ls.scan() {
+		line := ls.text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, "\t")
+		if len(parts) < 2 {
+			return nil, ls.errorf("want ≥2 fields, got %d", len(parts))
+		}
+		created, err := parseInt(parts[1])
+		if err != nil {
+			return nil, ls.errorf("bad created timestamp %q", parts[1])
+		}
+		u := User{ID: UserID(len(users)), Name: parts[0], Created: timeutil.Time(created)}
+		if len(parts) >= 3 {
+			u.Archetype = parts[2]
+		}
+		users = append(users, u)
+	}
+	if err := ls.err(); err != nil {
+		return nil, err
+	}
+	return users, nil
+}
+
+// --- jobs ---
+
+// WriteJobs writes the job log as TSV: user, submit, duration_s, cores.
+func WriteJobs(w io.Writer, users []User, jobs []Job) error {
+	bw := bufio.NewWriter(w)
+	for i := range jobs {
+		j := &jobs[i]
+		if _, err := fmt.Fprintf(bw, "%s\t%d\t%d\t%d\n",
+			users[j.User].Name, int64(j.Submit), int64(j.Duration), j.Cores); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJobs parses a job log using the name→ID index.
+func ReadJobs(r io.Reader, byName map[string]UserID) ([]Job, error) {
+	ls := newLineScanner(r, JobsFile)
+	var jobs []Job
+	for ls.scan() {
+		line := ls.text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, "\t")
+		if len(parts) != 4 {
+			return nil, ls.errorf("want 4 fields, got %d", len(parts))
+		}
+		uid, ok := byName[parts[0]]
+		if !ok {
+			return nil, ls.errorf("unknown user %q", parts[0])
+		}
+		submit, err1 := parseInt(parts[1])
+		dur, err2 := parseInt(parts[2])
+		cores, err3 := parseInt(parts[3])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, ls.errorf("bad numeric field in %q", line)
+		}
+		jobs = append(jobs, Job{
+			User:     uid,
+			Submit:   timeutil.Time(submit),
+			Duration: timeutil.Duration(dur),
+			Cores:    int(cores),
+		})
+	}
+	if err := ls.err(); err != nil {
+		return nil, err
+	}
+	return jobs, nil
+}
+
+// --- accesses ---
+
+// WriteAccesses writes the application log as TSV:
+// ts, user, create, size, path.
+func WriteAccesses(w io.Writer, users []User, accs []Access) error {
+	bw := bufio.NewWriter(w)
+	for i := range accs {
+		a := &accs[i]
+		c := 0
+		if a.Create {
+			c = 1
+		}
+		if _, err := fmt.Fprintf(bw, "%d\t%s\t%d\t%d\t%s\n",
+			int64(a.TS), users[a.User].Name, c, a.Size, a.Path); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadAccesses parses an application log.
+func ReadAccesses(r io.Reader, byName map[string]UserID) ([]Access, error) {
+	ls := newLineScanner(r, AccessesFile)
+	var accs []Access
+	for ls.scan() {
+		line := ls.text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 5)
+		if len(parts) != 5 {
+			return nil, ls.errorf("want 5 fields, got %d", len(parts))
+		}
+		ts, err1 := parseInt(parts[0])
+		uid, ok := byName[parts[1]]
+		create, err2 := parseInt(parts[2])
+		size, err3 := parseInt(parts[3])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, ls.errorf("bad numeric field in %q", line)
+		}
+		if !ok {
+			return nil, ls.errorf("unknown user %q", parts[1])
+		}
+		if parts[4] == "" {
+			return nil, ls.errorf("empty path")
+		}
+		accs = append(accs, Access{
+			TS:     timeutil.Time(ts),
+			User:   uid,
+			Create: create != 0,
+			Size:   size,
+			Path:   parts[4],
+		})
+	}
+	if err := ls.err(); err != nil {
+		return nil, err
+	}
+	return accs, nil
+}
+
+// --- publications ---
+
+// WritePublications writes the publication list as TSV:
+// ts, citations, comma-joined author names.
+func WritePublications(w io.Writer, users []User, pubs []Publication) error {
+	bw := bufio.NewWriter(w)
+	for i := range pubs {
+		p := &pubs[i]
+		names := make([]string, len(p.Authors))
+		for k, a := range p.Authors {
+			names[k] = users[a].Name
+		}
+		if _, err := fmt.Fprintf(bw, "%d\t%d\t%s\n",
+			int64(p.TS), p.Citations, strings.Join(names, ",")); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPublications parses a publication list.
+func ReadPublications(r io.Reader, byName map[string]UserID) ([]Publication, error) {
+	ls := newLineScanner(r, PubsFile)
+	var pubs []Publication
+	for ls.scan() {
+		line := ls.text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, "\t")
+		if len(parts) != 3 {
+			return nil, ls.errorf("want 3 fields, got %d", len(parts))
+		}
+		ts, err1 := parseInt(parts[0])
+		cites, err2 := parseInt(parts[1])
+		if err1 != nil || err2 != nil {
+			return nil, ls.errorf("bad numeric field in %q", line)
+		}
+		names := strings.Split(parts[2], ",")
+		authors := make([]UserID, 0, len(names))
+		for _, name := range names {
+			uid, ok := byName[name]
+			if !ok {
+				return nil, ls.errorf("unknown author %q", name)
+			}
+			authors = append(authors, uid)
+		}
+		pubs = append(pubs, Publication{
+			TS:        timeutil.Time(ts),
+			Citations: int(cites),
+			Authors:   authors,
+		})
+	}
+	if err := ls.err(); err != nil {
+		return nil, err
+	}
+	return pubs, nil
+}
+
+// --- snapshots ---
+
+// WriteSnapshot writes a metadata snapshot as TSV with a header
+// comment carrying the capture time: path rows are
+// user, size, stripes, atime, path.
+func WriteSnapshot(w io.Writer, users []User, s *Snapshot) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "#taken\t%d\n", int64(s.Taken)); err != nil {
+		return err
+	}
+	for i := range s.Entries {
+		e := &s.Entries[i]
+		if _, err := fmt.Fprintf(bw, "%s\t%d\t%d\t%d\t%s\n",
+			users[e.User].Name, e.Size, e.Stripes, int64(e.ATime), e.Path); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot parses a metadata snapshot.
+func ReadSnapshot(r io.Reader, byName map[string]UserID) (*Snapshot, error) {
+	ls := newLineScanner(r, SnapshotFile)
+	s := &Snapshot{}
+	for ls.scan() {
+		line := ls.text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#taken\t") {
+			ts, err := parseInt(strings.TrimPrefix(line, "#taken\t"))
+			if err != nil {
+				return nil, ls.errorf("bad taken timestamp")
+			}
+			s.Taken = timeutil.Time(ts)
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 5)
+		if len(parts) != 5 {
+			return nil, ls.errorf("want 5 fields, got %d", len(parts))
+		}
+		uid, ok := byName[parts[0]]
+		if !ok {
+			return nil, ls.errorf("unknown user %q", parts[0])
+		}
+		size, err1 := parseInt(parts[1])
+		stripes, err2 := parseInt(parts[2])
+		atime, err3 := parseInt(parts[3])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, ls.errorf("bad numeric field in %q", line)
+		}
+		if parts[4] == "" {
+			return nil, ls.errorf("empty path")
+		}
+		s.Entries = append(s.Entries, SnapshotEntry{
+			Path:    parts[4],
+			User:    uid,
+			Size:    size,
+			Stripes: int(stripes),
+			ATime:   timeutil.Time(atime),
+		})
+	}
+	if err := ls.err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// WriteSnapshotSeries persists a series of weekly metadata snapshots
+// under dir as snapshot-YYYYMMDD.tsv.gz — the artifact shape the
+// paper's Spider II data ships as ("a series of gzipped text files").
+func WriteSnapshotSeries(dir string, users []User, snaps []*Snapshot) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, snap := range snaps {
+		name := fmt.Sprintf("snapshot-%s.tsv.gz", snap.Taken.Go().Format("20060102"))
+		w, closeFn, err := openWriter(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := WriteSnapshot(w, users, snap); err != nil {
+			closeFn()
+			return fmt.Errorf("trace: write %s: %w", name, err)
+		}
+		if err := closeFn(); err != nil {
+			return fmt.Errorf("trace: close %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// LoadSnapshotSeries reads every snapshot-*.tsv.gz under dir, sorted
+// by capture time.
+func LoadSnapshotSeries(dir string, byName map[string]UserID) ([]*Snapshot, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "snapshot-*.tsv.gz"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(matches)
+	var snaps []*Snapshot
+	for _, path := range matches {
+		r, closeFn, err := openReader(path)
+		if err != nil {
+			return nil, err
+		}
+		snap, err := ReadSnapshot(r, byName)
+		closeFn()
+		if err != nil {
+			return nil, fmt.Errorf("trace: %s: %w", path, err)
+		}
+		snaps = append(snaps, snap)
+	}
+	sort.SliceStable(snaps, func(i, j int) bool { return snaps[i].Taken < snaps[j].Taken })
+	return snaps, nil
+}
+
+// NameIndex builds the login-name → ID map used by the readers.
+func NameIndex(users []User) map[string]UserID {
+	m := make(map[string]UserID, len(users))
+	for i := range users {
+		m[users[i].Name] = users[i].ID
+	}
+	return m
+}
+
+// WriteDataset persists every trace kind under dir using the standard
+// file names.
+func WriteDataset(dir string, d *Dataset) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, fn func(io.Writer) error) error {
+		w, closeFn, err := openWriter(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := fn(w); err != nil {
+			closeFn()
+			return fmt.Errorf("trace: write %s: %w", name, err)
+		}
+		if err := closeFn(); err != nil {
+			return fmt.Errorf("trace: close %s: %w", name, err)
+		}
+		return nil
+	}
+	if err := write(UsersFile, func(w io.Writer) error { return WriteUsers(w, d.Users) }); err != nil {
+		return err
+	}
+	if err := write(JobsFile, func(w io.Writer) error { return WriteJobs(w, d.Users, d.Jobs) }); err != nil {
+		return err
+	}
+	if err := write(AccessesFile, func(w io.Writer) error { return WriteAccesses(w, d.Users, d.Accesses) }); err != nil {
+		return err
+	}
+	if err := write(PubsFile, func(w io.Writer) error { return WritePublications(w, d.Users, d.Publications) }); err != nil {
+		return err
+	}
+	if len(d.Logins) > 0 {
+		if err := write(LoginsFile, func(w io.Writer) error { return WriteLogins(w, d.Users, d.Logins) }); err != nil {
+			return err
+		}
+	}
+	if len(d.Transfers) > 0 {
+		if err := write(TransfersFile, func(w io.Writer) error { return WriteTransfers(w, d.Users, d.Transfers) }); err != nil {
+			return err
+		}
+	}
+	return write(SnapshotFile, func(w io.Writer) error { return WriteSnapshot(w, d.Users, &d.Snapshot) })
+}
+
+// LoadDataset reads every trace kind from dir and validates the
+// result.
+func LoadDataset(dir string) (*Dataset, error) {
+	d := &Dataset{}
+	read := func(name string, fn func(io.Reader) error) error {
+		r, closeFn, err := openReader(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer closeFn()
+		if err := fn(r); err != nil {
+			return err
+		}
+		return nil
+	}
+	err := read(UsersFile, func(r io.Reader) error {
+		var e error
+		d.Users, e = ReadUsers(r)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	idx := NameIndex(d.Users)
+	if err := read(JobsFile, func(r io.Reader) error {
+		var e error
+		d.Jobs, e = ReadJobs(r, idx)
+		return e
+	}); err != nil {
+		return nil, err
+	}
+	if err := read(AccessesFile, func(r io.Reader) error {
+		var e error
+		d.Accesses, e = ReadAccesses(r, idx)
+		return e
+	}); err != nil {
+		return nil, err
+	}
+	if err := read(PubsFile, func(r io.Reader) error {
+		var e error
+		d.Publications, e = ReadPublications(r, idx)
+		return e
+	}); err != nil {
+		return nil, err
+	}
+	// Logins and transfers are optional trace kinds.
+	if _, err := os.Stat(filepath.Join(dir, LoginsFile)); err == nil {
+		if err := read(LoginsFile, func(r io.Reader) error {
+			var e error
+			d.Logins, e = ReadLogins(r, idx)
+			return e
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, TransfersFile)); err == nil {
+		if err := read(TransfersFile, func(r io.Reader) error {
+			var e error
+			d.Transfers, e = ReadTransfers(r, idx)
+			return e
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if err := read(SnapshotFile, func(r io.Reader) error {
+		s, e := ReadSnapshot(r, idx)
+		if e != nil {
+			return e
+		}
+		d.Snapshot = *s
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

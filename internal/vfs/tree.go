@@ -1,0 +1,293 @@
+// Package vfs implements the compact prefix tree that serves as the
+// virtual parallel file system in the ActiveDR emulation (paper
+// §4.1.3: "the compact prefix tree serves as a virtual file system in
+// our emulation"). It answers path-membership queries, keeps
+// per-file metadata (owner, size, atime), walks the namespace in
+// lexicographic order for purge scans, and doubles as the reserved-
+// path index backing the purge-exemption feature.
+package vfs
+
+import (
+	"sort"
+	"strings"
+)
+
+// radix is a byte-wise compressed prefix tree. Each node carries the
+// edge label that leads to it; terminal nodes own a value. Children
+// are kept sorted by their first label byte so walks emit keys in
+// lexicographic order — the "system order" FLT scans use.
+type radix[V any] struct {
+	root  *rnode[V]
+	count int
+}
+
+type rnode[V any] struct {
+	label    string
+	children []*rnode[V]
+	value    V
+	terminal bool
+}
+
+func newRadix[V any]() *radix[V] {
+	return &radix[V]{root: &rnode[V]{}}
+}
+
+// commonPrefixLen returns the length of the shared prefix of a and b.
+func commonPrefixLen(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+// childIndex locates the child whose label starts with byte c,
+// returning (index, found) — insertion point when not found.
+func (n *rnode[V]) childIndex(c byte) (int, bool) {
+	i := sort.Search(len(n.children), func(i int) bool {
+		return n.children[i].label[0] >= c
+	})
+	if i < len(n.children) && n.children[i].label[0] == c {
+		return i, true
+	}
+	return i, false
+}
+
+func (n *rnode[V]) insertChild(i int, child *rnode[V]) {
+	n.children = append(n.children, nil)
+	copy(n.children[i+1:], n.children[i:])
+	n.children[i] = child
+}
+
+// put inserts or replaces key. It reports whether the key was new and
+// returns the previous value when it was not.
+func (t *radix[V]) put(key string, v V) (prev V, existed bool) {
+	if key == "" {
+		prev, existed = t.root.value, t.root.terminal
+		t.root.value, t.root.terminal = v, true
+		if !existed {
+			t.count++
+		}
+		return prev, existed
+	}
+	n := t.root
+	rest := key
+	for {
+		i, ok := n.childIndex(rest[0])
+		if !ok {
+			n.insertChild(i, &rnode[V]{label: rest, value: v, terminal: true})
+			t.count++
+			return prev, false
+		}
+		child := n.children[i]
+		cp := commonPrefixLen(rest, child.label)
+		if cp == len(child.label) {
+			if cp == len(rest) {
+				prev, existed = child.value, child.terminal
+				child.value, child.terminal = v, true
+				if !existed {
+					t.count++
+				}
+				return prev, existed
+			}
+			n, rest = child, rest[cp:]
+			continue
+		}
+		// Split the edge at cp.
+		split := &rnode[V]{label: child.label[:cp]}
+		child.label = child.label[cp:]
+		split.children = []*rnode[V]{child}
+		if cp == len(rest) {
+			split.value, split.terminal = v, true
+		} else {
+			leaf := &rnode[V]{label: rest[cp:], value: v, terminal: true}
+			if leaf.label[0] < child.label[0] {
+				split.children = []*rnode[V]{leaf, child}
+			} else {
+				split.children = []*rnode[V]{child, leaf}
+			}
+		}
+		n.children[i] = split
+		t.count++
+		return prev, false
+	}
+}
+
+// get returns the value stored at key.
+func (t *radix[V]) get(key string) (V, bool) {
+	var zero V
+	n := t.findNode(key)
+	if n == nil || !n.terminal {
+		return zero, false
+	}
+	return n.value, true
+}
+
+// findNode returns the node exactly matching key, terminal or not.
+func (t *radix[V]) findNode(key string) *rnode[V] {
+	n := t.root
+	rest := key
+	for rest != "" {
+		i, ok := n.childIndex(rest[0])
+		if !ok {
+			return nil
+		}
+		child := n.children[i]
+		if !strings.HasPrefix(rest, child.label) {
+			return nil
+		}
+		rest = rest[len(child.label):]
+		n = child
+	}
+	return n
+}
+
+// delete removes key, merging single-child pass-through nodes so the
+// tree stays compact. It reports whether the key existed.
+func (t *radix[V]) delete(key string) (V, bool) {
+	var zero V
+	if key == "" {
+		if !t.root.terminal {
+			return zero, false
+		}
+		v := t.root.value
+		t.root.terminal = false
+		t.root.value = zero
+		t.count--
+		return v, true
+	}
+	type frame struct {
+		parent *rnode[V]
+		index  int
+	}
+	var path []frame
+	n := t.root
+	rest := key
+	for rest != "" {
+		i, ok := n.childIndex(rest[0])
+		if !ok {
+			return zero, false
+		}
+		child := n.children[i]
+		if !strings.HasPrefix(rest, child.label) {
+			return zero, false
+		}
+		path = append(path, frame{parent: n, index: i})
+		rest = rest[len(child.label):]
+		n = child
+	}
+	if !n.terminal {
+		return zero, false
+	}
+	v := n.value
+	n.terminal = false
+	n.value = zero
+	t.count--
+	// Prune upward: drop childless non-terminal nodes (which may make
+	// their parents childless in turn), then merge a single-child
+	// pass-through node into its child once and stop — merging does
+	// not change the parent's child count, so nothing above it can
+	// have become prunable.
+	for i := len(path) - 1; i >= 0; i-- {
+		f := path[i]
+		node := f.parent.children[f.index]
+		if node.terminal {
+			break
+		}
+		if len(node.children) == 0 {
+			f.parent.children = append(f.parent.children[:f.index], f.parent.children[f.index+1:]...)
+			continue
+		}
+		if len(node.children) == 1 {
+			child := node.children[0]
+			child.label = node.label + child.label
+			f.parent.children[f.index] = child
+		}
+		break
+	}
+	return v, true
+}
+
+// walk visits every terminal key under the node reached by prefix, in
+// lexicographic order. fn returning false stops the walk; walk
+// reports whether it ran to completion.
+func (t *radix[V]) walk(prefix string, fn func(key string, v V) bool) bool {
+	// Find the deepest node on the prefix path, tracking the key
+	// accumulated so far. The prefix may end inside an edge label.
+	n := t.root
+	acc := make([]byte, 0, 128)
+	rest := prefix
+	for rest != "" {
+		i, ok := n.childIndex(rest[0])
+		if !ok {
+			return true
+		}
+		child := n.children[i]
+		cp := commonPrefixLen(rest, child.label)
+		if cp == len(rest) {
+			// Prefix ends inside (or exactly at) this edge.
+			acc = append(acc, child.label...)
+			return walkNode(child, acc, fn)
+		}
+		if cp < len(child.label) {
+			return true // diverged: nothing under prefix
+		}
+		acc = append(acc, child.label...)
+		rest = rest[cp:]
+		n = child
+	}
+	return walkNode(n, acc, fn)
+}
+
+func walkNode[V any](n *rnode[V], acc []byte, fn func(key string, v V) bool) bool {
+	if n.terminal {
+		if !fn(string(acc), n.value) {
+			return false
+		}
+	}
+	for _, c := range n.children {
+		acc = append(acc, c.label...)
+		if !walkNode(c, acc, fn) {
+			return false
+		}
+		acc = acc[:len(acc)-len(c.label)]
+	}
+	return true
+}
+
+// coveredBy reports whether key equals a stored key or descends from
+// a stored key treated as a directory (stored key followed by '/').
+// This powers subtree reservations.
+func (t *radix[V]) coveredBy(key string) bool {
+	n := t.root
+	rest := key
+	if n.terminal {
+		return true // root reservation covers everything
+	}
+	consumed := 0
+	for rest != "" {
+		i, ok := n.childIndex(rest[0])
+		if !ok {
+			return false
+		}
+		child := n.children[i]
+		if !strings.HasPrefix(rest, child.label) {
+			return false
+		}
+		rest = rest[len(child.label):]
+		consumed += len(child.label)
+		n = child
+		if n.terminal {
+			if rest == "" || rest[0] == '/' {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (t *radix[V]) size() int { return t.count }

@@ -1,0 +1,135 @@
+package vfs
+
+import (
+	"sort"
+	"testing"
+
+	"activedr/internal/randx"
+)
+
+// TestRadixArbitraryKeys drives the generic radix tree with random
+// byte-level keys (not just well-formed paths) against a map model:
+// shared prefixes, empty keys, repeated inserts and deletes.
+func TestRadixArbitraryKeys(t *testing.T) {
+	src := randx.New(777)
+	alphabet := []byte("ab/€\x00z")
+	randKey := func() string {
+		n := src.Intn(12)
+		b := make([]byte, 0, n)
+		for i := 0; i < n; i++ {
+			b = append(b, alphabet[src.Intn(len(alphabet))])
+		}
+		return string(b)
+	}
+	tree := newRadix[int]()
+	model := map[string]int{}
+	for step := 0; step < 30000; step++ {
+		k := randKey()
+		switch src.Intn(3) {
+		case 0:
+			v := src.Intn(1000)
+			prev, existed := tree.put(k, v)
+			wantPrev, wantExisted := model[k]
+			if existed != wantExisted || (existed && prev != wantPrev) {
+				t.Fatalf("step %d: put(%q) = (%d,%v), want (%d,%v)", step, k, prev, existed, wantPrev, wantExisted)
+			}
+			model[k] = v
+		case 1:
+			v, ok := tree.get(k)
+			wantV, wantOK := model[k]
+			if ok != wantOK || (ok && v != wantV) {
+				t.Fatalf("step %d: get(%q) mismatch", step, k)
+			}
+		case 2:
+			v, ok := tree.delete(k)
+			wantV, wantOK := model[k]
+			if ok != wantOK || (ok && v != wantV) {
+				t.Fatalf("step %d: delete(%q) = (%d,%v), want (%d,%v)", step, k, v, ok, wantV, wantOK)
+			}
+			delete(model, k)
+		}
+		if tree.size() != len(model) {
+			t.Fatalf("step %d: size %d != model %d", step, tree.size(), len(model))
+		}
+	}
+	// Final walk agrees with the sorted model.
+	var wantKeys []string
+	for k := range model {
+		wantKeys = append(wantKeys, k)
+	}
+	sort.Strings(wantKeys)
+	var gotKeys []string
+	tree.walk("", func(k string, v int) bool {
+		gotKeys = append(gotKeys, k)
+		if model[k] != v {
+			t.Fatalf("walk value mismatch at %q", k)
+		}
+		return true
+	})
+	if len(gotKeys) != len(wantKeys) {
+		t.Fatalf("walk yielded %d keys, want %d", len(gotKeys), len(wantKeys))
+	}
+	for i := range wantKeys {
+		if gotKeys[i] != wantKeys[i] {
+			t.Fatalf("walk order: got %q want %q at %d", gotKeys[i], wantKeys[i], i)
+		}
+	}
+}
+
+// TestRadixEmptyKey exercises the root-terminal special case.
+func TestRadixEmptyKey(t *testing.T) {
+	tree := newRadix[string]()
+	if _, ok := tree.get(""); ok {
+		t.Fatal("empty tree contains empty key")
+	}
+	tree.put("", "root")
+	if v, ok := tree.get(""); !ok || v != "root" {
+		t.Fatal("empty key lost")
+	}
+	// A root reservation covers everything.
+	if !tree.coveredBy("/any/path") {
+		t.Fatal("root terminal should cover all keys")
+	}
+	if v, ok := tree.delete(""); !ok || v != "root" {
+		t.Fatal("empty key not deletable")
+	}
+	if tree.size() != 0 {
+		t.Fatal("size wrong after delete")
+	}
+	if _, ok := tree.delete(""); ok {
+		t.Fatal("double delete of empty key")
+	}
+}
+
+// TestRadixCompression verifies single-child merging after deletes
+// keeps the tree compact.
+func TestRadixCompression(t *testing.T) {
+	tree := newRadix[int]()
+	tree.put("/a/b/c/d", 1)
+	tree.put("/a/b/c/e", 2)
+	tree.put("/a/x", 3)
+	countNodes := func() int {
+		n := 0
+		var rec func(*rnode[int])
+		rec = func(nd *rnode[int]) {
+			n++
+			for _, c := range nd.children {
+				rec(c)
+			}
+		}
+		rec(tree.root)
+		return n
+	}
+	before := countNodes()
+	tree.delete("/a/b/c/e")
+	after := countNodes()
+	if after >= before {
+		t.Fatalf("no compaction: %d → %d nodes", before, after)
+	}
+	if v, ok := tree.get("/a/b/c/d"); !ok || v != 1 {
+		t.Fatal("sibling lost during compaction")
+	}
+	if v, ok := tree.get("/a/x"); !ok || v != 3 {
+		t.Fatal("cousin lost during compaction")
+	}
+}

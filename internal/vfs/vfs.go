@@ -1,0 +1,221 @@
+package vfs
+
+import (
+	"fmt"
+
+	"activedr/internal/timeutil"
+	"activedr/internal/trace"
+)
+
+// FileMeta is the per-file metadata the retention policies consult.
+type FileMeta struct {
+	User    trace.UserID
+	Size    int64
+	Stripes int
+	ATime   timeutil.Time
+}
+
+// FS is the virtual file system: a compact prefix tree over absolute
+// paths with byte and count accounting, overall and per user. FS is
+// not safe for concurrent mutation; the parallel scan pool shards
+// work over read-only walks.
+type FS struct {
+	tree      *radix[FileMeta]
+	bytes     int64
+	userBytes map[trace.UserID]int64
+	userFiles map[trace.UserID]int64
+}
+
+// New returns an empty FS.
+func New() *FS {
+	return &FS{
+		tree:      newRadix[FileMeta](),
+		userBytes: make(map[trace.UserID]int64),
+		userFiles: make(map[trace.UserID]int64),
+	}
+}
+
+// FromSnapshot builds an FS holding every entry of a metadata
+// snapshot.
+func FromSnapshot(s *trace.Snapshot) (*FS, error) {
+	fs := New()
+	for i := range s.Entries {
+		e := &s.Entries[i]
+		if err := fs.Insert(e.Path, FileMeta{User: e.User, Size: e.Size, Stripes: e.Stripes, ATime: e.ATime}); err != nil {
+			return nil, err
+		}
+	}
+	return fs, nil
+}
+
+// Insert adds or replaces the file at path. Replacement adjusts the
+// byte accounting by the size difference.
+func (f *FS) Insert(path string, m FileMeta) error {
+	if len(path) == 0 || path[0] != '/' {
+		return fmt.Errorf("vfs: path %q is not absolute", path)
+	}
+	if m.Size < 0 {
+		return fmt.Errorf("vfs: negative size for %q", path)
+	}
+	prev, existed := f.tree.put(path, m)
+	if existed {
+		f.bytes -= prev.Size
+		f.userBytes[prev.User] -= prev.Size
+		f.userFiles[prev.User]--
+	}
+	f.bytes += m.Size
+	f.userBytes[m.User] += m.Size
+	f.userFiles[m.User]++
+	return nil
+}
+
+// Lookup returns the metadata stored at path.
+func (f *FS) Lookup(path string) (FileMeta, bool) { return f.tree.get(path) }
+
+// Contains reports whether path holds a file.
+func (f *FS) Contains(path string) bool {
+	_, ok := f.tree.get(path)
+	return ok
+}
+
+// Touch renews the access time of path, reporting whether the file
+// exists.
+func (f *FS) Touch(path string, at timeutil.Time) bool {
+	n := f.tree.findNode(path)
+	if n == nil || !n.terminal {
+		return false
+	}
+	n.value.ATime = at
+	return true
+}
+
+// Remove purges the file at path, reporting its metadata.
+func (f *FS) Remove(path string) (FileMeta, bool) {
+	m, ok := f.tree.delete(path)
+	if !ok {
+		return FileMeta{}, false
+	}
+	f.bytes -= m.Size
+	f.userBytes[m.User] -= m.Size
+	f.userFiles[m.User]--
+	if f.userFiles[m.User] == 0 {
+		delete(f.userFiles, m.User)
+		delete(f.userBytes, m.User)
+	}
+	return m, true
+}
+
+// Count returns the number of files.
+func (f *FS) Count() int { return f.tree.size() }
+
+// TotalBytes returns the total stored bytes.
+func (f *FS) TotalBytes() int64 { return f.bytes }
+
+// UserBytes returns the bytes owned by u.
+func (f *FS) UserBytes(u trace.UserID) int64 { return f.userBytes[u] }
+
+// UserFiles returns the number of files owned by u.
+func (f *FS) UserFiles(u trace.UserID) int64 { return f.userFiles[u] }
+
+// Walk visits every file in lexicographic path order. fn returning
+// false stops the walk early.
+func (f *FS) Walk(fn func(path string, m FileMeta) bool) {
+	f.tree.walk("", fn)
+}
+
+// WalkPrefix visits every file whose path starts with prefix, in
+// lexicographic order.
+func (f *FS) WalkPrefix(prefix string, fn func(path string, m FileMeta) bool) {
+	f.tree.walk(prefix, fn)
+}
+
+// FilesByUser buckets every path by owning user in one walk. Each
+// bucket preserves lexicographic order. This is how a retention pass
+// obtains per-user scan lists without a per-user index.
+func (f *FS) FilesByUser() map[trace.UserID][]string {
+	out := make(map[trace.UserID][]string)
+	f.Walk(func(path string, m FileMeta) bool {
+		out[m.User] = append(out[m.User], path)
+		return true
+	})
+	return out
+}
+
+// Snapshot exports the current state as a metadata snapshot taken at
+// the given time.
+func (f *FS) Snapshot(taken timeutil.Time) *trace.Snapshot {
+	s := &trace.Snapshot{Taken: taken}
+	s.Entries = make([]trace.SnapshotEntry, 0, f.Count())
+	f.Walk(func(path string, m FileMeta) bool {
+		s.Entries = append(s.Entries, trace.SnapshotEntry{
+			Path: path, User: m.User, Size: m.Size, Stripes: m.Stripes, ATime: m.ATime,
+		})
+		return true
+	})
+	return s
+}
+
+// Clone deep-copies the FS so FLT and ActiveDR can replay the same
+// initial state independently.
+func (f *FS) Clone() *FS {
+	c := New()
+	f.Walk(func(path string, m FileMeta) bool {
+		// Paths from Walk are fresh strings; reuse directly.
+		c.tree.put(path, m)
+		c.bytes += m.Size
+		c.userBytes[m.User] += m.Size
+		c.userFiles[m.User]++
+		return true
+	})
+	return c
+}
+
+// Stats summarizes the index footprint of the prefix tree — the
+// memory-efficiency measure of the paper's Figure 12a.
+type Stats struct {
+	Files      int   // terminal nodes
+	Nodes      int   // all tree nodes (compression quality indicator)
+	LabelBytes int64 // bytes held in edge labels
+}
+
+// Stats walks the tree structure and reports its footprint.
+func (f *FS) Stats() Stats {
+	st := Stats{Files: f.Count()}
+	var walk func(n *rnode[FileMeta])
+	walk = func(n *rnode[FileMeta]) {
+		st.Nodes++
+		st.LabelBytes += int64(len(n.label))
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(f.tree.root)
+	return st
+}
+
+// ReservedSet indexes purge-exempt paths. A reservation covers the
+// exact path and, when the reserved path is a directory, its whole
+// subtree (any stored prefix followed by '/').
+type ReservedSet struct {
+	tree *radix[struct{}]
+}
+
+// NewReservedSet returns an empty reservation index.
+func NewReservedSet() *ReservedSet {
+	return &ReservedSet{tree: newRadix[struct{}]()}
+}
+
+// Add reserves path (file or directory subtree).
+func (r *ReservedSet) Add(path string) { r.tree.put(path, struct{}{}) }
+
+// Len returns the number of reservations.
+func (r *ReservedSet) Len() int { return r.tree.size() }
+
+// Covers reports whether path is reserved, either exactly or via an
+// ancestor directory reservation.
+func (r *ReservedSet) Covers(path string) bool {
+	if r == nil || r.tree.size() == 0 {
+		return false
+	}
+	return r.tree.coveredBy(path)
+}
