@@ -25,20 +25,24 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("report: ")
 	var (
-		data  = flag.String("data", "", "dataset directory (empty = generate synthetic)")
-		users = flag.Int("users", 2000, "synthetic user count (when -data is empty)")
-		seed  = flag.Uint64("seed", 0, "synthetic seed (when -data is empty)")
-		fig   = flag.String("fig", "all", "figure/table to render: all, t1, 1, 5, 6, 7, 8, 9, 10, 11, 12, ablation")
-		out   = flag.String("o", "", "output file (empty = stdout)")
-		ranks = flag.Int("ranks", 4, "parallel ranks for Figure 12")
+		data    = flag.String("data", "", "dataset directory (empty = generate synthetic)")
+		users   = flag.Int("users", 2000, "synthetic user count (when -data is empty)")
+		seed    = flag.Uint64("seed", 0, "synthetic seed (when -data is empty)")
+		fig     = flag.String("fig", "all", "figure/table to render: all, t1, 1, 5, 6, 7, 8, 9, 10, 11, 12, ablation")
+		out     = flag.String("o", "", "output file (empty = stdout)")
+		ranks   = flag.Int("ranks", 4, "parallel ranks for Figure 12")
+		lenient = flag.Bool("lenient", false, "quarantine malformed trace lines instead of aborting")
 	)
 	flag.Parse()
 
 	var suite *experiments.Suite
 	if *data != "" {
-		ds, err := trace.LoadDataset(*data)
+		ds, rep, err := trace.LoadDatasetWith(*data, trace.ReadOptions{Lenient: *lenient})
 		if err != nil {
 			log.Fatal(err)
+		}
+		if !rep.Clean() {
+			log.Printf("lenient load: %d malformed lines quarantined\n%s", rep.Errors(), rep.Summary())
 		}
 		suite = experiments.NewSuite(ds)
 	} else {

@@ -2,19 +2,32 @@
 // evaluation year under both FLT and ActiveDR and reports the file
 // miss comparison (the paper's §4.3 headline experiment).
 //
+// The replay is fault-tolerant: -faults injects deterministic purge
+// failures (failed unlinks, interrupted scans), -checkpoint-dir
+// persists resumable checkpoints at trigger boundaries (-resume picks
+// the latest one up after a kill), and -lenient salvages what it can
+// from damaged trace files instead of aborting.
+//
 // Usage:
 //
 //	simulate -data ./data -lifetime 90 -target 0.5
+//	simulate -data ./data -checkpoint-dir ./ckpt            # checkpointed run
+//	simulate -data ./data -checkpoint-dir ./ckpt -resume    # pick up after a kill
+//	simulate -data ./data -faults 0.05 -fault-seed 42       # inject purge faults
+//	simulate -data ./data -lenient                          # salvage damaged traces
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"path/filepath"
 	"time"
 
 	"activedr/internal/activeness"
 	"activedr/internal/archive"
+	"activedr/internal/faults"
+	"activedr/internal/retention"
 	"activedr/internal/sim"
 	"activedr/internal/stats"
 	"activedr/internal/timeutil"
@@ -30,13 +43,26 @@ func main() {
 		target   = flag.Float64("target", 0.5, "ActiveDR purge target utilization")
 		interval = flag.Int("interval", 7, "purge trigger interval in days")
 		snapDir  = flag.String("snapshots", "", "write the FLT run's weekly metadata snapshot series to this directory")
+
+		lenient   = flag.Bool("lenient", false, "quarantine malformed trace lines instead of aborting")
+		maxErrors = flag.Int("max-errors", trace.DefaultMaxErrors, "per-file quarantine cap in -lenient mode")
+
+		faultProb  = flag.Float64("faults", 0, "per-victim unlink-failure and per-trigger scan-interrupt probability")
+		faultRead  = flag.Float64("fault-read", 0, "per-attempt transient dataset-read failure probability (retried with backoff)")
+		faultSeed  = flag.Uint64("fault-seed", 1, "fault injector seed")
+		faultClear = flag.Int("fault-clear", 0, "days into the replay after which purge faults clear (0 = never)")
+
+		ckptDir   = flag.String("checkpoint-dir", "", "persist resumable checkpoints under this directory (one subdirectory per policy)")
+		ckptEvery = flag.Int("checkpoint-every", 1, "checkpoint once every N purge triggers")
+		resume    = flag.Bool("resume", false, "resume each policy from its latest checkpoint under -checkpoint-dir")
 	)
 	flag.Parse()
-
-	ds, err := trace.LoadDataset(*data)
-	if err != nil {
-		log.Fatal(err)
+	if *resume && *ckptDir == "" {
+		log.Fatal("-resume requires -checkpoint-dir")
 	}
+
+	ds := loadDataset(*data, *lenient, *maxErrors, *faultRead, *faultSeed)
+
 	cfg := sim.Config{
 		Lifetime:          timeutil.Days(*lifetime),
 		TriggerInterval:   timeutil.Days(*interval),
@@ -49,10 +75,55 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cmp, err := em.RunComparison()
+
+	faultCfg := faults.Config{
+		Seed:              *faultSeed,
+		UnlinkFailProb:    *faultProb,
+		ScanInterruptProb: *faultProb,
+	}
+	if *faultClear > 0 {
+		faultCfg.ClearAfter = ds.Snapshot.Taken.Add(timeutil.Days(*faultClear))
+	}
+	if err := faultCfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Each policy replays independently, with its own checkpoint
+	// subdirectory and its own injector (same seed: comparable fault
+	// streams).
+	runPolicy := func(name string, policy retention.Policy) *sim.Result {
+		opts := sim.RunOptions{CheckpointEvery: *ckptEvery}
+		if *ckptDir != "" {
+			opts.CheckpointDir = filepath.Join(*ckptDir, name)
+		}
+		if *faultProb > 0 {
+			opts.Faults = faults.New(faultCfg)
+		}
+		var res *sim.Result
+		var err error
+		if *resume && sim.HasCheckpoint(opts.CheckpointDir) {
+			res, err = em.Resume(policy, opts)
+			if err == nil {
+				fmt.Printf("%-14s resumed from checkpoint in %s\n", name, opts.CheckpointDir)
+			}
+		} else {
+			res, err = em.RunWith(policy, opts)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	adr, err := em.NewActiveDR()
 	if err != nil {
 		log.Fatal(err)
 	}
+	cmp := &sim.Comparison{
+		FLT:      runPolicy("flt", em.NewFLT()),
+		ActiveDR: runPolicy("activedr", adr),
+	}
+
 	fmt.Printf("replayed %d accesses over %d days (lifetime %dd, trigger %dd, target %.0f%%)\n",
 		cmp.FLT.TotalAccesses, len(cmp.FLT.Days), *lifetime, *interval, 100**target)
 	fmt.Printf("%-14s misses=%7d (%.2f%% of accesses), wall=%v\n",
@@ -68,6 +139,10 @@ func main() {
 			cmp.ActiveDR.RestoreCost(m).Round(time.Minute),
 			cmp.RestoreSavings(m).Round(time.Minute))
 	}
+	if *faultProb > 0 {
+		printFaultSummary(cmp.FLT)
+		printFaultSummary(cmp.ActiveDR)
+	}
 	if *snapDir != "" {
 		if err := trace.WriteSnapshotSeries(*snapDir, ds.Users, cmp.FLT.Snapshots); err != nil {
 			log.Fatal(err)
@@ -80,4 +155,65 @@ func main() {
 		fmt.Printf("%-22s FLT=%7d ActiveDR=%7d reduction=%6.1f%%\n",
 			g, f, a, 100*stats.ReductionRatio(float64(f), float64(a)))
 	}
+}
+
+// loadDataset reads the traces, optionally in lenient mode, and — when
+// -fault-read is set — through the injector's transient-error gauntlet
+// with retry/backoff, the way a flaky parallel file system would serve
+// them.
+func loadDataset(dir string, lenient bool, maxErrors int, readProb float64, seed uint64) *trace.Dataset {
+	var inj *faults.Injector
+	if readProb > 0 {
+		cfg := faults.Config{Seed: seed, ReadFailProb: readProb}
+		if err := cfg.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		inj = faults.New(cfg)
+	}
+	var (
+		ds  *trace.Dataset
+		rep *trace.DatasetReport
+	)
+	attempts := 0
+	err := faults.Retry(5, 50*time.Millisecond, func() error {
+		attempts++
+		if inj != nil {
+			if err := inj.ReadAttempt(); err != nil {
+				return err
+			}
+		}
+		var err error
+		ds, rep, err = trace.LoadDatasetWith(dir, trace.ReadOptions{Lenient: lenient, MaxErrors: maxErrors})
+		return err
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if attempts > 1 {
+		fmt.Printf("dataset load needed %d attempts (transient read faults retried)\n", attempts)
+	}
+	if lenient && !rep.Clean() {
+		fmt.Printf("lenient load: %d malformed lines quarantined\n%s\n", rep.Errors(), rep.Summary())
+	}
+	return ds
+}
+
+// printFaultSummary reports what the injector did to one policy's
+// purge passes and whether the policy converged regardless.
+func printFaultSummary(res *sim.Result) {
+	var failed, failedBytes int64
+	incomplete := 0
+	for _, r := range res.Reports {
+		failed += r.FailedPurges
+		failedBytes += r.FailedBytes
+		if r.Incomplete {
+			incomplete++
+		}
+	}
+	last := "n/a"
+	if n := len(res.Reports); n > 0 {
+		last = fmt.Sprintf("%v", res.Reports[n-1].TargetReached)
+	}
+	fmt.Printf("%-14s faults: failed unlinks=%d (%.1f GB unreclaimed at the time), interrupted scans=%d/%d, final trigger reached target: %s\n",
+		res.Policy, failed, float64(failedBytes)/1e9, incomplete, len(res.Reports), last)
 }

@@ -570,11 +570,14 @@ func (s *Suite) Figure12(ranks int) (*Figure12Result, error) {
 	ev := em.Evaluator()
 	n := len(s.ds.Users)
 	rankTable := make([]activeness.Rank, n)
-	res.EvalTimings = pool.TimedShards(n, func(rank, lo, hi int) {
+	res.EvalTimings, err = pool.TimedShards(n, func(rank, lo, hi int) {
 		for u := lo; u < hi; u++ {
 			rankTable[u] = ev.EvaluateUser(trace.UserID(u), CaptureDate)
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	// Purge decision: evaluate the lifetime test for every file in
 	// the base snapshot, sharded.
@@ -585,7 +588,7 @@ func (s *Suite) Figure12(ranks int) (*Figure12Result, error) {
 		return nil, err
 	}
 	lifetime := adr.Config().Lifetime
-	res.DecisionTimings = pool.TimedShards(len(snap.Entries), func(rank, lo, hi int) {
+	res.DecisionTimings, err = pool.TimedShards(len(snap.Entries), func(rank, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := &snap.Entries[i]
 			mult := rankTable[e.User].LifetimeMultiplier()
@@ -593,6 +596,9 @@ func (s *Suite) Figure12(ranks int) (*Figure12Result, error) {
 			_ = CaptureDate.Sub(e.ATime) > eps
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	res.Index = fsys.Stats()
 
@@ -601,7 +607,7 @@ func (s *Suite) Figure12(ranks int) (*Figure12Result, error) {
 	for i := range snap.Entries {
 		paths = append(paths, snap.Entries[i].Path)
 	}
-	res.ScanTimings = pool.TimedShards(len(paths), func(rank, lo, hi int) {
+	res.ScanTimings, err = pool.TimedShards(len(paths), func(rank, lo, hi int) {
 		var bytes int64
 		for i := lo; i < hi; i++ {
 			if m, ok := fsys.Lookup(paths[i]); ok {
@@ -610,6 +616,9 @@ func (s *Suite) Figure12(ranks int) (*Figure12Result, error) {
 		}
 		_ = bytes
 	})
+	if err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 

@@ -1,0 +1,187 @@
+// Package faults provides a deterministic, seed-driven fault injector
+// for the retention stack. A production purge engine on a
+// billion-entry namespace must survive interrupted scans, files that
+// fail to delete, and flaky metadata feeds; this package lets the
+// emulator rehearse those failures reproducibly so that every
+// degradation path is testable and every faulted run can be replayed
+// bit-for-bit from the same seed.
+//
+// The injector draws from a private randx.Source, so two runs with the
+// same seed and the same call sequence make identical fault decisions.
+// Its stream position is exposed via State/Restore, which the sim
+// checkpoint layer persists so that a killed-and-resumed run consumes
+// the randomness exactly where the original left off.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"activedr/internal/randx"
+	"activedr/internal/timeutil"
+)
+
+// Config parameterizes an Injector. All probabilities are in [0, 1];
+// zero disables that fault class.
+type Config struct {
+	// Seed drives the deterministic decision stream.
+	Seed uint64
+	// UnlinkFailProb is the per-victim probability that deleting a
+	// purge victim fails: the file stays and its bytes are not
+	// reclaimed until a later trigger retries it.
+	UnlinkFailProb float64
+	// ScanInterruptProb is the per-trigger probability that the purge
+	// scan is interrupted partway through its scan order; the pass
+	// reports Incomplete and the shortfall is made up next trigger.
+	ScanInterruptProb float64
+	// ReadFailProb is the per-attempt probability that a trace read
+	// fails transiently (see ReadAttempt and Retry).
+	ReadFailProb float64
+	// ClearAfter, when non-zero, stops all purge-time faults at
+	// triggers at or after this time — the "faults clear" point after
+	// which policies must converge back to their target.
+	ClearAfter timeutil.Time
+}
+
+// Validate rejects nonsensical configurations.
+func (c Config) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"unlink-fail", c.UnlinkFailProb},
+		{"scan-interrupt", c.ScanInterruptProb},
+		{"read-fail", c.ReadFailProb},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("faults: %s probability %v outside [0,1]", p.name, p.v)
+		}
+	}
+	return nil
+}
+
+// State is an Injector's serializable stream position and counters,
+// captured at a checkpoint boundary and restored on resume.
+type State struct {
+	Rand             uint64 `json:"rand"`
+	UnlinkFailures   int64  `json:"unlink_failures"`
+	InterruptedScans int64  `json:"interrupted_scans"`
+	ReadFailures     int64  `json:"read_failures"`
+}
+
+// Injector makes deterministic fault decisions. It implements the
+// retention package's FaultInjector interface. Not safe for concurrent
+// use: the purge scan that consults it is single-threaded.
+type Injector struct {
+	cfg Config
+	src *randx.Source
+	at  timeutil.Time // current trigger time, set by BeginScan
+	st  State         // counters (Rand filled on State())
+}
+
+// New builds an injector; it panics on an invalid config (the config
+// is programmer input, not data).
+func New(cfg Config) *Injector {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Injector{cfg: cfg, src: randx.New(cfg.Seed)}
+}
+
+// Config returns the injector's configuration.
+func (in *Injector) Config() Config { return in.cfg }
+
+// active reports whether purge-time faults still fire at the current
+// trigger time.
+func (in *Injector) active() bool {
+	return in.cfg.ClearAfter == 0 || in.at < in.cfg.ClearAfter
+}
+
+// BeginScan is called once at the start of each purge pass with the
+// trigger time and the number of files in the namespace. It returns
+// the number of files the scan may examine before being "interrupted"
+// (a crash or operator abort partway through the scan order), or -1
+// for an uninterrupted scan.
+func (in *Injector) BeginScan(at timeutil.Time, files int64) int64 {
+	in.at = at
+	if !in.active() || in.cfg.ScanInterruptProb <= 0 || files <= 0 {
+		return -1
+	}
+	if !in.src.Bool(in.cfg.ScanInterruptProb) {
+		return -1
+	}
+	in.st.InterruptedScans++
+	return in.src.Int64n(files)
+}
+
+// UnlinkFails reports whether deleting the given purge victim fails.
+// A failed unlink leaves the file in place with its bytes
+// unreclaimed; the policy reports it under FailedPurges.
+func (in *Injector) UnlinkFails(path string) bool {
+	if !in.active() || in.cfg.UnlinkFailProb <= 0 {
+		return false
+	}
+	if in.src.Bool(in.cfg.UnlinkFailProb) {
+		in.st.UnlinkFailures++
+		return true
+	}
+	return false
+}
+
+// ErrTransient marks injected transient I/O failures; Retry retries
+// exactly these.
+var ErrTransient = errors.New("faults: injected transient I/O error")
+
+// IsTransient reports whether err is (or wraps) a transient injected
+// failure.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// ReadAttempt simulates one trace-read attempt: with probability
+// ReadFailProb it returns a transient error the caller should retry.
+func (in *Injector) ReadAttempt() error {
+	if in.cfg.ReadFailProb <= 0 {
+		return nil
+	}
+	if in.src.Bool(in.cfg.ReadFailProb) {
+		in.st.ReadFailures++
+		return fmt.Errorf("read attempt %d: %w", in.st.ReadFailures, ErrTransient)
+	}
+	return nil
+}
+
+// State captures the injector's stream position and counters for a
+// checkpoint.
+func (in *Injector) State() State {
+	st := in.st
+	st.Rand = in.src.State()
+	return st
+}
+
+// Restore rewinds the injector to a previously captured State.
+func (in *Injector) Restore(st State) {
+	in.src.Restore(st.Rand)
+	in.st = st
+}
+
+// Retry runs fn up to attempts times, sleeping backoff (doubled after
+// each failure) between tries, and retries only transient errors: a
+// permanent error or success returns immediately. When the budget is
+// exhausted the last transient error is returned wrapped.
+func Retry(attempts int, backoff time.Duration, fn func() error) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 && backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		err = fn()
+		if err == nil || !IsTransient(err) {
+			return err
+		}
+	}
+	return fmt.Errorf("faults: gave up after %d attempts: %w", attempts, err)
+}

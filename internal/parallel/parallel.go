@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 )
@@ -54,19 +55,68 @@ func (p *Pool) Shards(n int) [][2]int {
 	return out
 }
 
-// ForEachShard runs fn(rank, lo, hi) concurrently over the shards of
-// n items and blocks until all ranks finish.
-func (p *Pool) ForEachShard(n int, fn func(rank, lo, hi int)) {
+// ShardError is a failure in one rank's shard: either an error the
+// shard function returned or a recovered panic, tagged with the rank
+// and the [Lo, Hi) item range so a billion-file scan failure points at
+// the slice that caused it.
+type ShardError struct {
+	Rank int
+	Lo   int
+	Hi   int
+	Err  error
+}
+
+// Error renders the failure with its shard coordinates.
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("parallel: rank %d shard [%d,%d): %v", e.Rank, e.Lo, e.Hi, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// callShard invokes fn for one shard, converting a panic into an
+// error carrying the recovered value and stack. A panicking rank must
+// not take the whole process down: the other ranks finish and the
+// caller gets a joined report instead of a crash.
+func callShard(rank, lo, hi int, fn func(rank, lo, hi int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &ShardError{Rank: rank, Lo: lo, Hi: hi,
+				Err: fmt.Errorf("panic: %v\n%s", r, debug.Stack())}
+		}
+	}()
+	if e := fn(rank, lo, hi); e != nil {
+		err = &ShardError{Rank: rank, Lo: lo, Hi: hi, Err: e}
+	}
+	return
+}
+
+// RunShards runs fn(rank, lo, hi) concurrently over the shards of n
+// items and blocks until all ranks finish, joining per-rank failures
+// (returned errors and recovered panics) into the result.
+func (p *Pool) RunShards(n int, fn func(rank, lo, hi int) error) error {
 	shards := p.Shards(n)
+	errs := make([]error, len(shards))
 	var wg sync.WaitGroup
 	for r, s := range shards {
 		wg.Add(1)
 		go func(rank, lo, hi int) {
 			defer wg.Done()
-			fn(rank, lo, hi)
+			errs[rank] = callShard(rank, lo, hi, fn)
 		}(r, s[0], s[1])
 	}
 	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// ForEachShard runs fn(rank, lo, hi) concurrently over the shards of
+// n items and blocks until all ranks finish. A panic in any rank is
+// recovered into a *ShardError identifying the shard.
+func (p *Pool) ForEachShard(n int, fn func(rank, lo, hi int)) error {
+	return p.RunShards(n, func(rank, lo, hi int) error {
+		fn(rank, lo, hi)
+		return nil
+	})
 }
 
 // RankTiming records one rank's wall-clock work, the per-rank probe
@@ -82,22 +132,28 @@ func (t RankTiming) String() string {
 	return fmt.Sprintf("rank %2d: items=%d elapsed=%v", t.Rank, t.Items, t.Elapsed)
 }
 
-// TimedShards is ForEachShard with per-rank timing probes.
-func (p *Pool) TimedShards(n int, fn func(rank, lo, hi int)) []RankTiming {
+// TimedShards is ForEachShard with per-rank timing probes. Panicking
+// ranks still record their timing (up to the panic) and surface as
+// *ShardError in the joined error.
+func (p *Pool) TimedShards(n int, fn func(rank, lo, hi int)) ([]RankTiming, error) {
 	shards := p.Shards(n)
 	timings := make([]RankTiming, len(shards))
+	errs := make([]error, len(shards))
 	var wg sync.WaitGroup
 	for r, s := range shards {
 		wg.Add(1)
 		go func(rank, lo, hi int) {
 			defer wg.Done()
 			start := time.Now()
-			fn(rank, lo, hi)
+			errs[rank] = callShard(rank, lo, hi, func(rank, lo, hi int) error {
+				fn(rank, lo, hi)
+				return nil
+			})
 			timings[rank] = RankTiming{Rank: rank, Items: hi - lo, Elapsed: time.Since(start)}
 		}(r, s[0], s[1])
 	}
 	wg.Wait()
-	return timings
+	return timings, errors.Join(errs...)
 }
 
 // Run executes the tasks across the pool, collecting every error

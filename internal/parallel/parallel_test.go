@@ -2,6 +2,7 @@ package parallel
 
 import (
 	"errors"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -58,11 +59,14 @@ func TestForEachShardVisitsAll(t *testing.T) {
 	p := NewPool(4)
 	const n = 1000
 	var hits [n]int32
-	p.ForEachShard(n, func(rank, lo, hi int) {
+	err := p.ForEachShard(n, func(rank, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			atomic.AddInt32(&hits[i], 1)
 		}
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i, h := range hits {
 		if h != 1 {
 			t.Fatalf("item %d visited %d times", i, h)
@@ -73,9 +77,12 @@ func TestForEachShardVisitsAll(t *testing.T) {
 func TestTimedShards(t *testing.T) {
 	p := NewPool(3)
 	var total int64
-	timings := p.TimedShards(100, func(rank, lo, hi int) {
+	timings, err := p.TimedShards(100, func(rank, lo, hi int) {
 		atomic.AddInt64(&total, int64(hi-lo))
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(timings) != 3 {
 		t.Fatalf("timings = %d ranks", len(timings))
 	}
@@ -91,6 +98,96 @@ func TestTimedShards(t *testing.T) {
 	}
 	if items != 100 || total != 100 {
 		t.Fatalf("items = %d, total = %d", items, total)
+	}
+}
+
+func TestRunShardsCollectsErrorsAndPanics(t *testing.T) {
+	p := NewPool(4)
+	sentinel := errors.New("shard failed")
+	err := p.RunShards(100, func(rank, lo, hi int) error {
+		switch rank {
+		case 1:
+			return sentinel
+		case 2:
+			panic("rank 2 exploded")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("shard failures lost")
+	}
+	if !errors.Is(err, sentinel) {
+		t.Error("returned shard error not joined")
+	}
+	var se *ShardError
+	if !errors.As(err, &se) {
+		t.Fatal("no *ShardError in chain")
+	}
+	if !strings.Contains(err.Error(), "rank 2 exploded") {
+		t.Errorf("panic value lost: %v", err)
+	}
+	if !strings.Contains(err.Error(), "rank 1 shard [") {
+		t.Errorf("shard coordinates missing: %v", err)
+	}
+	if p.RunShards(0, func(rank, lo, hi int) error { return nil }) != nil {
+		t.Error("empty shard set errored")
+	}
+}
+
+func TestForEachShardRecoversPanic(t *testing.T) {
+	p := NewPool(3)
+	var visited int32
+	err := p.ForEachShard(90, func(rank, lo, hi int) {
+		if rank == 0 {
+			panic(errors.New("boom"))
+		}
+		atomic.AddInt32(&visited, int32(hi-lo))
+	})
+	if err == nil {
+		t.Fatal("panic not surfaced as error")
+	}
+	var se *ShardError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %T, want *ShardError in chain", err)
+	}
+	if se.Rank != 0 || se.Lo != 0 || se.Hi != 30 {
+		t.Errorf("shard coords = rank %d [%d,%d)", se.Rank, se.Lo, se.Hi)
+	}
+	// The surviving ranks finished their shards.
+	if visited != 60 {
+		t.Errorf("surviving ranks visited %d items, want 60", visited)
+	}
+}
+
+func TestTimedShardsSurvivesPanic(t *testing.T) {
+	p := NewPool(2)
+	timings, err := p.TimedShards(10, func(rank, lo, hi int) {
+		if rank == 1 {
+			panic("late rank down")
+		}
+	})
+	if err == nil {
+		t.Fatal("panic not surfaced")
+	}
+	if len(timings) != 2 {
+		t.Fatalf("timings = %d ranks, want both recorded", len(timings))
+	}
+	for _, tm := range timings {
+		if tm.Elapsed < 0 {
+			t.Errorf("rank %d negative elapsed", tm.Rank)
+		}
+	}
+}
+
+func TestShardErrorUnwrap(t *testing.T) {
+	cause := errors.New("root cause")
+	se := &ShardError{Rank: 3, Lo: 10, Hi: 20, Err: cause}
+	if !errors.Is(se, cause) {
+		t.Error("Unwrap does not expose cause")
+	}
+	want := "parallel: rank 3 shard [10,20): root cause"
+	if se.Error() != want {
+		t.Errorf("Error() = %q, want %q", se.Error(), want)
 	}
 }
 

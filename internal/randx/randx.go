@@ -26,6 +26,14 @@ func New(seed uint64) *Source { return &Source{state: seed} }
 // shards.
 func (s *Source) Split() *Source { return New(s.Uint64() ^ 0x9e3779b97f4a7c15) }
 
+// State exposes the generator's internal state so long-running
+// simulations can checkpoint their random streams.
+func (s *Source) State() uint64 { return s.state }
+
+// Restore rewinds the generator to a state previously captured with
+// State; the subsequent draw sequence repeats exactly.
+func (s *Source) Restore(state uint64) { s.state = state }
+
 // Uint64 returns the next 64 uniformly distributed bits.
 func (s *Source) Uint64() uint64 {
 	s.state += 0x9e3779b97f4a7c15

@@ -291,3 +291,24 @@ func TestNewWeightedNegativePanics(t *testing.T) {
 	}()
 	NewWeighted([]float64{1, -1})
 }
+
+func TestStateRestore(t *testing.T) {
+	s := New(99)
+	for i := 0; i < 10; i++ {
+		s.Uint64()
+	}
+	st := s.State()
+	want := []uint64{s.Uint64(), s.Uint64(), s.Uint64()}
+	s.Restore(st)
+	for i, w := range want {
+		if got := s.Uint64(); got != w {
+			t.Fatalf("draw %d after Restore = %d, want %d", i, got, w)
+		}
+	}
+	// A fresh source restored to the same state replays the stream too.
+	fresh := New(0)
+	fresh.Restore(st)
+	if fresh.Uint64() != want[0] {
+		t.Fatal("restored fresh source diverged")
+	}
+}

@@ -1,0 +1,164 @@
+package retention
+
+import (
+	"testing"
+
+	"activedr/internal/activeness"
+	"activedr/internal/timeutil"
+	"activedr/internal/trace"
+	"activedr/internal/vfs"
+)
+
+// stubFaults is a scripted FaultInjector: it interrupts the scan after
+// budget examined files (negative = never) and fails the first
+// failUnlinks deletions.
+type stubFaults struct {
+	budget      int64
+	failUnlinks int
+	beginCalls  int
+}
+
+func (s *stubFaults) BeginScan(at timeutil.Time, files int64) int64 {
+	s.beginCalls++
+	return s.budget
+}
+
+func (s *stubFaults) UnlinkFails(path string) bool {
+	if s.failUnlinks > 0 {
+		s.failUnlinks--
+		return true
+	}
+	return false
+}
+
+func TestFLTUnlinkFailuresKeepFilesAndBytes(t *testing.T) {
+	fsys := vfs.New()
+	addFile(fsys, "/u/a/stale1", 0, 100, 400)
+	addFile(fsys, "/u/a/stale2", 0, 200, 400)
+	addFile(fsys, "/u/a/fresh", 0, 50, 10)
+	before := fsys.TotalBytes()
+
+	f := &FLT{Lifetime: timeutil.Days(90), Faults: &stubFaults{budget: -1, failUnlinks: 1}}
+	rep := f.Purge(fsys, nil, tc)
+
+	if rep.FailedPurges != 1 || rep.FailedBytes != 100 {
+		t.Fatalf("FailedPurges=%d FailedBytes=%d, want 1/100", rep.FailedPurges, rep.FailedBytes)
+	}
+	if rep.PurgedFiles != 1 || rep.PurgedBytes != 200 {
+		t.Fatalf("PurgedFiles=%d PurgedBytes=%d, want 1/200", rep.PurgedFiles, rep.PurgedBytes)
+	}
+	// The failed victim (first in walk order) survives with its bytes.
+	if !fsys.Contains("/u/a/stale1") || fsys.Contains("/u/a/stale2") {
+		t.Error("wrong victim survived the unlink failure")
+	}
+	if fsys.TotalBytes() != before-200 {
+		t.Errorf("bytes after = %d, want %d", fsys.TotalBytes(), before-200)
+	}
+	if rep.Incomplete {
+		t.Error("uninterrupted scan marked Incomplete")
+	}
+
+	// Faults gone: the next trigger retries and reclaims the leftover.
+	f.Faults = nil
+	rep2 := f.Purge(fsys, nil, tc.Add(timeutil.Week))
+	if rep2.PurgedFiles != 1 || fsys.Contains("/u/a/stale1") {
+		t.Fatal("failed victim not reclaimed after faults cleared")
+	}
+}
+
+func TestFLTInterruptedScanConverges(t *testing.T) {
+	fsys := vfs.New()
+	for i := 0; i < 10; i++ {
+		addFile(fsys, "/u/a/stale"+string(rune('a'+i)), 0, 10, 400)
+	}
+	sf := &stubFaults{budget: 3}
+	f := &FLT{Lifetime: timeutil.Days(90), Faults: sf}
+	rep := f.Purge(fsys, nil, tc)
+	if !rep.Incomplete {
+		t.Fatal("interrupted scan not marked Incomplete")
+	}
+	if rep.PurgedFiles != 3 {
+		t.Fatalf("PurgedFiles = %d, want 3 (budget)", rep.PurgedFiles)
+	}
+	if sf.beginCalls != 1 {
+		t.Fatalf("BeginScan called %d times", sf.beginCalls)
+	}
+	// Next trigger, scan uninterrupted: the shortfall is made up.
+	f.Faults = nil
+	rep2 := f.Purge(fsys, nil, tc.Add(timeutil.Week))
+	if rep2.Incomplete || rep2.PurgedFiles != 7 || fsys.Count() != 0 {
+		t.Fatalf("shortfall not made up: purged=%d remaining=%d", rep2.PurgedFiles, fsys.Count())
+	}
+}
+
+func TestActiveDRFaultsAndConvergence(t *testing.T) {
+	fsys := vfs.New()
+	var total int64
+	for i := 0; i < 8; i++ {
+		addFile(fsys, "/u/a/f"+string(rune('a'+i)), 0, 100, 400)
+		total += 100
+	}
+	ranks := []activeness.Rank{{}} // both-inactive owner
+	adr, err := NewActiveDR(Config{
+		Lifetime:          timeutil.Days(90),
+		Capacity:          total,
+		TargetUtilization: 0.5,
+		Faults:            &stubFaults{budget: -1, failUnlinks: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := adr.Purge(fsys, ranks, tc)
+	if rep.FailedPurges != 2 || rep.FailedBytes != 200 {
+		t.Fatalf("FailedPurges=%d FailedBytes=%d, want 2/200", rep.FailedPurges, rep.FailedBytes)
+	}
+	// Failed unlinks do not count toward the target; the pass keeps
+	// scanning and still frees the target bytes.
+	if !rep.TargetReached || rep.PurgedBytes < rep.TargetBytes {
+		t.Fatalf("target missed despite continuing scan: %+v", rep)
+	}
+
+	// Interrupted scan: the target is missed, and the next trigger
+	// (faults cleared) converges back to target utilization.
+	fsys2 := vfs.New()
+	for i := 0; i < 8; i++ {
+		addFile(fsys2, "/u/a/f"+string(rune('a'+i)), 0, 100, 400)
+	}
+	adr2, err := NewActiveDR(Config{
+		Lifetime:          timeutil.Days(90),
+		Capacity:          total,
+		TargetUtilization: 0.5,
+		Faults:            &stubFaults{budget: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep1 := adr2.Purge(fsys2, ranks, tc)
+	if !rep1.Incomplete || rep1.TargetReached {
+		t.Fatalf("interrupted pass: %+v", rep1)
+	}
+	adr2.SetFaults(nil)
+	rep2 := adr2.Purge(fsys2, ranks, tc.Add(timeutil.Week))
+	if !rep2.TargetReached {
+		t.Fatalf("did not converge after faults cleared: %+v", rep2)
+	}
+	if got := fsys2.TotalBytes(); got > int64(0.5*float64(total)) {
+		t.Fatalf("utilization %d above target %d", got, int64(0.5*float64(total)))
+	}
+}
+
+func TestSetFaultsOnPolicies(t *testing.T) {
+	var p Policy = &FLT{Lifetime: timeutil.Days(90)}
+	sink, ok := p.(FaultSink)
+	if !ok {
+		t.Fatal("FLT is not a FaultSink")
+	}
+	sf := &stubFaults{budget: -1}
+	sink.SetFaults(sf)
+	fsys := vfs.New()
+	addFile(fsys, "/u/a/stale", trace.UserID(0), 1, 400)
+	p.Purge(fsys, nil, tc)
+	if sf.beginCalls != 1 {
+		t.Fatal("injector not consulted after SetFaults")
+	}
+}

@@ -28,6 +28,33 @@ type Policy interface {
 	Purge(fsys *vfs.FS, ranks []activeness.Rank, tc timeutil.Time) *Report
 }
 
+// FaultInjector simulates storage-layer failures during a purge pass.
+// Both built-in policies consult it (when set) so a run can rehearse
+// deletion failures and interrupted scans; internal/faults provides
+// the deterministic, seed-driven implementation. The interface is
+// structural on purpose: retention does not import faults.
+type FaultInjector interface {
+	// BeginScan is called once at the start of a purge pass with the
+	// trigger time and the namespace size. It returns how many files
+	// the scan may examine before being interrupted, or a negative
+	// value for an uninterrupted scan. An interrupted pass reports
+	// Incomplete; the shortfall is made up at the next trigger because
+	// stale files stay stale and targets are recomputed from live
+	// usage.
+	BeginScan(at timeutil.Time, files int64) int64
+	// UnlinkFails reports whether deleting the victim at path fails.
+	// The file then stays in place and its bytes are not reclaimed;
+	// the pass reports it under FailedPurges/FailedBytes.
+	UnlinkFails(path string) bool
+}
+
+// FaultSink is implemented by policies that accept a fault injector
+// after construction; the emulator uses it to thread one injector
+// through a run.
+type FaultSink interface {
+	SetFaults(FaultInjector)
+}
+
 // GroupStats aggregates one activeness group's slice of a purge pass.
 type GroupStats struct {
 	Users         int   // users classified into the group
@@ -56,7 +83,16 @@ type Report struct {
 	SkippedExempt int64 // reserved files skipped
 	TargetReached bool  // true when a set target was met (or none was set)
 	RetroPasses   int   // retrospective passes actually executed
-	Groups        [activeness.NumGroups]GroupStats
+	// FailedPurges/FailedBytes count victims whose deletion failed
+	// (injected or real unlink errors): the files stay in place and
+	// their bytes are not reclaimed until a later trigger retries.
+	FailedPurges int64
+	FailedBytes  int64
+	// Incomplete marks a pass whose scan was interrupted before
+	// examining its full order; the shortfall carries to the next
+	// trigger.
+	Incomplete bool
+	Groups     [activeness.NumGroups]GroupStats
 	// AffectedIDs lists every user who lost at least one file in this
 	// pass, in ascending order (Figure 11 counts distinct affected
 	// users across a run).
@@ -121,10 +157,15 @@ type FLT struct {
 	TargetBytes  func(used int64) int64 // optional; used with StopAtTarget
 	// CollectVictims records every purged path in Report.Victims.
 	CollectVictims bool
+	// Faults, when set, injects deletion failures and scan interrupts.
+	Faults FaultInjector
 }
 
 // Name identifies the policy.
 func (f *FLT) Name() string { return fmt.Sprintf("FLT-%s", f.Lifetime) }
+
+// SetFaults installs a fault injector for subsequent purge passes.
+func (f *FLT) SetFaults(fi FaultInjector) { f.Faults = fi }
 
 // Purge runs one fixed-lifetime purge pass at time tc.
 func (f *FLT) Purge(fsys *vfs.FS, ranks []activeness.Rank, tc timeutil.Time) *Report {
@@ -144,9 +185,19 @@ func (f *FLT) Purge(fsys *vfs.FS, ranks []activeness.Rank, tc timeutil.Time) *Re
 		report.TargetBytes = target
 	}
 	_ = groupTotals(fsys, ranks, report) // accounting only
+	budget := int64(-1)
+	if f.Faults != nil {
+		budget = f.Faults.BeginScan(tc, int64(fsys.Count()))
+	}
 	affected := make(map[trace.UserID]bool)
+	var examined int64
 	var stale []string
 	fsys.Walk(func(path string, m vfs.FileMeta) bool {
+		if budget >= 0 && examined >= budget {
+			report.Incomplete = true
+			return false
+		}
+		examined++
 		if f.StopAtTarget && target > 0 && report.PurgedBytes >= target {
 			return false
 		}
@@ -155,6 +206,11 @@ func (f *FLT) Purge(fsys *vfs.FS, ranks []activeness.Rank, tc timeutil.Time) *Re
 		}
 		if f.Reserved.Covers(path) {
 			report.SkippedExempt++
+			return true
+		}
+		if f.Faults != nil && f.Faults.UnlinkFails(path) {
+			report.FailedPurges++
+			report.FailedBytes += m.Size
 			return true
 		}
 		stale = append(stale, path)
@@ -240,6 +296,8 @@ type Config struct {
 	// CollectVictims records every purged path in Report.Victims
 	// (dry-run and audit workflows).
 	CollectVictims bool
+	// Faults, when set, injects deletion failures and scan interrupts.
+	Faults FaultInjector
 }
 
 // Defaults fills unset knobs with the paper's values.
@@ -295,6 +353,9 @@ func (a *ActiveDR) Name() string { return fmt.Sprintf("ActiveDR-%s", a.cfg.Lifet
 
 // Config returns the effective configuration.
 func (a *ActiveDR) Config() Config { return a.cfg }
+
+// SetFaults installs a fault injector for subsequent purge passes.
+func (a *ActiveDR) SetFaults(fi FaultInjector) { a.cfg.Faults = fi }
 
 // scanUser is one user's position in the scan sequence.
 type scanUser struct {
@@ -407,6 +468,11 @@ func (a *ActiveDR) Purge(fsys *vfs.FS, ranks []activeness.Rank, tc timeutil.Time
 	}
 	reached := func() bool { return target > 0 && report.PurgedBytes >= target }
 	affected := make(map[trace.UserID]bool)
+	budget := int64(-1)
+	if a.cfg.Faults != nil {
+		budget = a.cfg.Faults.BeginScan(tc, int64(fsys.Count()))
+	}
+	var examined int64
 
 	phases := a.orderUsers(buckets, ranks)
 phaseLoop:
@@ -419,6 +485,11 @@ phaseLoop:
 				eps := a.lifetime(su.rank, pass)
 				g := su.rank.Group()
 				for _, path := range buckets[su.id] {
+					if budget >= 0 && examined >= budget {
+						report.Incomplete = true
+						break phaseLoop
+					}
+					examined++
 					m, ok := fsys.Lookup(path)
 					if !ok {
 						continue // purged on an earlier pass
@@ -430,6 +501,11 @@ phaseLoop:
 						if pass == 0 {
 							report.SkippedExempt++
 						}
+						continue
+					}
+					if a.cfg.Faults != nil && a.cfg.Faults.UnlinkFails(path) {
+						report.FailedPurges++
+						report.FailedBytes += m.Size
 						continue
 					}
 					fsys.Remove(path)
@@ -499,4 +575,6 @@ var (
 	_ Policy          = (*ActiveDR)(nil)
 	_ victimCollector = (*FLT)(nil)
 	_ victimCollector = (*ActiveDR)(nil)
+	_ FaultSink       = (*FLT)(nil)
+	_ FaultSink       = (*ActiveDR)(nil)
 )

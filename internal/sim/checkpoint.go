@@ -1,0 +1,340 @@
+package sim
+
+// Checkpoint/resume for the replay emulator. A year-long replay over a
+// production-scale trace can be killed at any point — node reboot,
+// scheduler preemption, operator ctrl-C — so the emulator persists its
+// full state at purge-trigger boundaries and reconstructs itself
+// mid-year from the latest checkpoint.
+//
+// Layout under RunOptions.CheckpointDir:
+//
+//	LATEST            name of the newest complete checkpoint
+//	t000042/          one checkpoint, written atomically (tmp + rename)
+//	  state.json      cursor, trigger clock, result-so-far, fault state
+//	  fs.tsv.gz       vfs snapshot via the trace.Snapshot codec
+//	  captured.tsv.gz CaptureAt snapshot, when already taken
+//	  snapshots/      SnapshotEvery series captured so far
+//
+// Only the two newest checkpoints are kept. Checkpoints are taken
+// right after a trigger's purge ran, so the serialized state is
+// exactly the uninterrupted run's state at that boundary: a resumed
+// run replays bit-for-bit (see TestCheckpointResumeDeterminism).
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"activedr/internal/activeness"
+	"activedr/internal/faults"
+	"activedr/internal/retention"
+	"activedr/internal/timeutil"
+	"activedr/internal/trace"
+	"activedr/internal/vfs"
+)
+
+const (
+	latestFile      = "LATEST"
+	stateFile       = "state.json"
+	fsFile          = "fs.tsv.gz"
+	capturedFile    = "captured.tsv.gz"
+	snapsSubdir     = "snapshots"
+	keepCheckpoints = 2
+)
+
+// checkpointState is the JSON-serializable slice of runState plus the
+// Result accumulated so far. The virtual file system, the CaptureAt
+// clone, and the snapshot series travel as sidecar TSV files (the
+// existing trace.Snapshot codec); everything else fits in JSON.
+type checkpointState struct {
+	Version     int    `json:"version"`
+	Policy      string `json:"policy"`
+	Config      string `json:"config"`
+	At          int64  `json:"at"` // trigger time of this checkpoint
+	Cursor      int    `json:"cursor"`
+	NextTrigger int64  `json:"next_trigger"`
+	RanksAt     int64  `json:"ranks_at"`
+	Captured    bool   `json:"captured"`
+	LastSnap    int64  `json:"last_snap"`
+	Triggers    int    `json:"triggers"`
+
+	TotalAccesses int64                       `json:"total_accesses"`
+	TotalMisses   int64                       `json:"total_misses"`
+	RestoredFiles int64                       `json:"restored_files"`
+	RestoredBytes int64                       `json:"restored_bytes"`
+	MissesByGroup [activeness.NumGroups]int64 `json:"misses_by_group"`
+	Days          []DayStats                  `json:"days"`
+	Reports       []*retention.Report         `json:"reports"`
+	HasCaptured   bool                        `json:"has_captured"`
+	NumSnapshots  int                         `json:"num_snapshots"`
+	Faults        *faults.State               `json:"faults,omitempty"`
+}
+
+const checkpointVersion = 1
+
+// digest fingerprints the knobs that shape the replay so a resume
+// against a different configuration is rejected instead of silently
+// diverging. Reserved is excluded (not serializable); supplying the
+// same exemption list on resume is the caller's contract.
+func (c Config) digest() string {
+	return fmt.Sprintf("v%d life=%d period=%d trig=%d util=%g cap=%d retro=%d decay=%g capture=%d snap=%d logins=%t transfers=%t eq7=%t order=%d",
+		checkpointVersion, c.Lifetime, c.PeriodLength, c.TriggerInterval,
+		c.TargetUtilization, c.Capacity, c.RetroPasses, c.RetroDecay,
+		c.CaptureAt, c.SnapshotEvery, c.UseLogins, c.UseTransfers,
+		c.StrictEq7, c.Order)
+}
+
+// saveCheckpoint writes one complete checkpoint for the trigger that
+// just fired at `at`, then atomically publishes it via LATEST and
+// prunes old ones. A crash at any point leaves either the previous or
+// the new checkpoint intact, never a torn one.
+func (e *Emulator) saveCheckpoint(opts RunOptions, policy retention.Policy, st *runState, at timeutil.Time) error {
+	dir := opts.CheckpointDir
+	name := fmt.Sprintf("t%06d", st.triggers)
+	tmp := filepath.Join(dir, name+".tmp")
+	if err := os.RemoveAll(tmp); err != nil {
+		return fmt.Errorf("sim: checkpoint: %w", err)
+	}
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		return fmt.Errorf("sim: checkpoint: %w", err)
+	}
+	if err := trace.WriteSnapshotFile(filepath.Join(tmp, fsFile), e.ds.Users, st.fsys.Snapshot(at)); err != nil {
+		return fmt.Errorf("sim: checkpoint fs: %w", err)
+	}
+	if st.res.Captured != nil {
+		if err := trace.WriteSnapshotFile(filepath.Join(tmp, capturedFile), e.ds.Users, st.res.Captured.Snapshot(e.cfg.CaptureAt)); err != nil {
+			return fmt.Errorf("sim: checkpoint captured: %w", err)
+		}
+	}
+	if len(st.res.Snapshots) > 0 {
+		sd := filepath.Join(tmp, snapsSubdir)
+		if err := os.MkdirAll(sd, 0o755); err != nil {
+			return fmt.Errorf("sim: checkpoint: %w", err)
+		}
+		for i, s := range st.res.Snapshots {
+			if err := trace.WriteSnapshotFile(filepath.Join(sd, seriesName(i)), e.ds.Users, s); err != nil {
+				return fmt.Errorf("sim: checkpoint snapshot %d: %w", i, err)
+			}
+		}
+	}
+	cs := checkpointState{
+		Version:       checkpointVersion,
+		Policy:        policy.Name(),
+		Config:        e.cfg.digest(),
+		At:            int64(at),
+		Cursor:        st.cursor,
+		NextTrigger:   int64(st.nextTrigger),
+		RanksAt:       int64(st.ranksAt),
+		Captured:      st.captured,
+		LastSnap:      int64(st.lastSnap),
+		Triggers:      st.triggers,
+		TotalAccesses: st.res.TotalAccesses,
+		TotalMisses:   st.res.TotalMisses,
+		RestoredFiles: st.res.RestoredFiles,
+		RestoredBytes: st.res.RestoredBytes,
+		MissesByGroup: st.res.MissesByGroup,
+		Days:          st.res.Days,
+		Reports:       st.res.Reports,
+		HasCaptured:   st.res.Captured != nil,
+		NumSnapshots:  len(st.res.Snapshots),
+	}
+	if opts.Faults != nil {
+		fs := opts.Faults.State()
+		cs.Faults = &fs
+	}
+	blob, err := json.MarshalIndent(&cs, "", " ")
+	if err != nil {
+		return fmt.Errorf("sim: checkpoint state: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(tmp, stateFile), blob, 0o644); err != nil {
+		return fmt.Errorf("sim: checkpoint state: %w", err)
+	}
+	final := filepath.Join(dir, name)
+	// A stale directory with this trigger count can linger from a
+	// previous incarnation killed before publishing LATEST.
+	if err := os.RemoveAll(final); err != nil {
+		return fmt.Errorf("sim: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("sim: checkpoint: %w", err)
+	}
+	if err := writeFileAtomic(filepath.Join(dir, latestFile), []byte(name+"\n")); err != nil {
+		return fmt.Errorf("sim: checkpoint: %w", err)
+	}
+	pruneCheckpoints(dir, keepCheckpoints)
+	return nil
+}
+
+// seriesName numbers checkpointed snapshot-series files; an index
+// keeps same-day snapshots distinct, unlike the date-based public
+// series naming.
+func seriesName(i int) string { return fmt.Sprintf("s%05d.tsv.gz", i) }
+
+// writeFileAtomic writes data to path via a temp file + rename so
+// readers never observe a torn file.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// pruneCheckpoints removes all but the newest keep checkpoint
+// directories. Best-effort: pruning failures never fail the run.
+func pruneCheckpoints(dir string, keep int) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	var names []string
+	for _, ent := range entries {
+		n := ent.Name()
+		if ent.IsDir() && strings.HasPrefix(n, "t") && !strings.HasSuffix(n, ".tmp") {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	for len(names) > keep {
+		os.RemoveAll(filepath.Join(dir, names[0]))
+		names = names[1:]
+	}
+}
+
+// HasCheckpoint reports whether dir holds a complete checkpoint to
+// resume from.
+func HasCheckpoint(dir string) bool {
+	name, err := readLatest(dir)
+	if err != nil {
+		return false
+	}
+	_, err = os.Stat(filepath.Join(dir, name, stateFile))
+	return err == nil
+}
+
+func readLatest(dir string) (string, error) {
+	b, err := os.ReadFile(filepath.Join(dir, latestFile))
+	if err != nil {
+		return "", err
+	}
+	name := strings.TrimSpace(string(b))
+	if name == "" || strings.Contains(name, "/") {
+		return "", fmt.Errorf("sim: corrupt %s in %s", latestFile, dir)
+	}
+	return name, nil
+}
+
+// loadCheckpoint reconstructs the runState recorded in the latest
+// checkpoint under opts.CheckpointDir, validating that the policy and
+// emulator configuration match the ones that wrote it.
+func (e *Emulator) loadCheckpoint(policy retention.Policy, opts RunOptions) (*runState, error) {
+	dir := opts.CheckpointDir
+	name, err := readLatest(dir)
+	if err != nil {
+		return nil, fmt.Errorf("sim: no checkpoint in %s: %w", dir, err)
+	}
+	ckdir := filepath.Join(dir, name)
+	blob, err := os.ReadFile(filepath.Join(ckdir, stateFile))
+	if err != nil {
+		return nil, fmt.Errorf("sim: checkpoint %s: %w", name, err)
+	}
+	var cs checkpointState
+	if err := json.Unmarshal(blob, &cs); err != nil {
+		return nil, fmt.Errorf("sim: checkpoint %s: %w", name, err)
+	}
+	if cs.Version != checkpointVersion {
+		return nil, fmt.Errorf("sim: checkpoint %s has version %d, want %d", name, cs.Version, checkpointVersion)
+	}
+	if cs.Policy != policy.Name() {
+		return nil, fmt.Errorf("sim: checkpoint %s was written by policy %q, resuming with %q", name, cs.Policy, policy.Name())
+	}
+	if cs.Config != e.cfg.digest() {
+		return nil, fmt.Errorf("sim: checkpoint %s config mismatch:\n  have %s\n  want %s", name, e.cfg.digest(), cs.Config)
+	}
+	if cs.Faults != nil && opts.Faults == nil {
+		return nil, fmt.Errorf("sim: checkpoint %s carries fault-injector state but no injector was provided", name)
+	}
+
+	idx := trace.NameIndex(e.ds.Users)
+	snap, err := trace.ReadSnapshotFile(filepath.Join(ckdir, fsFile), idx)
+	if err != nil {
+		return nil, fmt.Errorf("sim: checkpoint %s: %w", name, err)
+	}
+	fsys, err := vfs.FromSnapshot(snap)
+	if err != nil {
+		return nil, fmt.Errorf("sim: checkpoint %s: %w", name, err)
+	}
+	res := &Result{
+		Policy:        cs.Policy,
+		Days:          cs.Days,
+		Reports:       cs.Reports,
+		TotalAccesses: cs.TotalAccesses,
+		TotalMisses:   cs.TotalMisses,
+		RestoredFiles: cs.RestoredFiles,
+		RestoredBytes: cs.RestoredBytes,
+		MissesByGroup: cs.MissesByGroup,
+	}
+	if cs.HasCaptured {
+		csnap, err := trace.ReadSnapshotFile(filepath.Join(ckdir, capturedFile), idx)
+		if err != nil {
+			return nil, fmt.Errorf("sim: checkpoint %s: %w", name, err)
+		}
+		if res.Captured, err = vfs.FromSnapshot(csnap); err != nil {
+			return nil, fmt.Errorf("sim: checkpoint %s: %w", name, err)
+		}
+	}
+	for i := 0; i < cs.NumSnapshots; i++ {
+		s, err := trace.ReadSnapshotFile(filepath.Join(ckdir, snapsSubdir, seriesName(i)), idx)
+		if err != nil {
+			return nil, fmt.Errorf("sim: checkpoint %s: %w", name, err)
+		}
+		res.Snapshots = append(res.Snapshots, s)
+	}
+	if cs.Faults != nil {
+		opts.Faults.Restore(*cs.Faults)
+	}
+	st := &runState{
+		fsys:        fsys,
+		res:         res,
+		cursor:      cs.Cursor,
+		nextTrigger: timeutil.Time(cs.NextTrigger),
+		ranksAt:     timeutil.Time(cs.RanksAt),
+		captured:    cs.Captured,
+		lastSnap:    timeutil.Time(cs.LastSnap),
+		triggers:    cs.Triggers,
+	}
+	// The rank table is not serialized: it is a pure function of the
+	// (identically rebuilt) activeness evaluator and the evaluation
+	// time recorded in the checkpoint.
+	st.ranks = e.eval.EvaluateAll(e.users, st.ranksAt)
+	return st, nil
+}
+
+// Resume continues an interrupted replay from the latest checkpoint
+// under opts.CheckpointDir. The emulator must be built over the same
+// dataset and configuration, and policy must match the interrupted
+// run; the result is bit-for-bit identical to the uninterrupted run.
+func (e *Emulator) Resume(policy retention.Policy, opts RunOptions) (*Result, error) {
+	if opts.CheckpointDir == "" {
+		return nil, errors.New("sim: Resume requires RunOptions.CheckpointDir")
+	}
+	st, err := e.loadCheckpoint(policy, opts)
+	if err != nil {
+		return nil, err
+	}
+	return e.replay(policy, opts, st)
+}
+
+// Resume is the package-level convenience: rebuild an Emulator from
+// the dataset and configuration, then continue the interrupted run.
+func Resume(ds *trace.Dataset, cfg Config, policy retention.Policy, opts RunOptions) (*Result, error) {
+	e, err := New(ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.Resume(policy, opts)
+}

@@ -10,11 +10,13 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"activedr/internal/activeness"
 	"activedr/internal/archive"
+	"activedr/internal/faults"
 	"activedr/internal/retention"
 	"activedr/internal/timeutil"
 	"activedr/internal/trace"
@@ -222,17 +224,87 @@ func (e *Emulator) NewFLT() *retention.FLT {
 	return &retention.FLT{Lifetime: e.cfg.Lifetime, Reserved: e.cfg.Reserved}
 }
 
+// RunOptions extends a replay with fault injection, checkpointing,
+// and deterministic interruption (kill-and-resume drills).
+type RunOptions struct {
+	// CheckpointDir, when non-empty, persists a resumable checkpoint
+	// of the run state at trigger boundaries; Resume picks up from
+	// the latest one.
+	CheckpointDir string
+	// CheckpointEvery spaces checkpoints to one every N triggers.
+	// Zero or negative means every trigger.
+	CheckpointEvery int
+	// Faults threads a deterministic fault injector through the
+	// policy (via retention.FaultSink) and through the checkpoint
+	// layer, which saves and restores its stream position.
+	Faults *faults.Injector
+	// StopAfterTriggers, when positive, aborts the replay with
+	// ErrInterrupted right after that many purge triggers (counted
+	// from the run's start, including triggers replayed before a
+	// resume) have fired and been checkpointed — a reproducible kill
+	// for resume tests.
+	StopAfterTriggers int
+}
+
+// ErrInterrupted reports a replay stopped early by
+// RunOptions.StopAfterTriggers. The partial Result is still returned.
+var ErrInterrupted = errors.New("sim: run interrupted")
+
+// runState is the mutable replay state between accesses; checkpoints
+// serialize it and Resume reconstructs it mid-year.
+type runState struct {
+	fsys        *vfs.FS
+	res         *Result
+	cursor      int // index of the next unreplayed access
+	nextTrigger timeutil.Time
+	ranks       []activeness.Rank
+	ranksAt     timeutil.Time // when ranks were last evaluated
+	captured    bool
+	lastSnap    timeutil.Time
+	triggers    int // purge triggers fired so far
+}
+
+// freshState initializes the replay at the reference snapshot.
+func (e *Emulator) freshState(policy retention.Policy) *runState {
+	t0 := e.ds.Snapshot.Taken
+	return &runState{
+		fsys:        e.base.Clone(),
+		res:         &Result{Policy: policy.Name()},
+		nextTrigger: t0.Add(e.cfg.TriggerInterval),
+		ranks:       e.eval.EvaluateAll(e.users, t0),
+		ranksAt:     t0,
+		captured:    e.cfg.CaptureAt == 0,
+	}
+}
+
 // Run replays the access log against one policy.
 func (e *Emulator) Run(policy retention.Policy) (*Result, error) {
+	return e.RunWith(policy, RunOptions{})
+}
+
+// RunWith replays the access log against one policy with fault
+// injection and checkpointing options.
+func (e *Emulator) RunWith(policy retention.Policy, opts RunOptions) (*Result, error) {
+	return e.replay(policy, opts, e.freshState(policy))
+}
+
+// replay drives the access loop from st to the end of the log (or an
+// interruption point).
+func (e *Emulator) replay(policy retention.Policy, opts RunOptions, st *runState) (*Result, error) {
 	start := time.Now()
-	fsys := e.base.Clone()
-	res := &Result{Policy: policy.Name()}
+	if opts.Faults != nil {
+		if sink, ok := policy.(retention.FaultSink); ok {
+			sink.SetFaults(opts.Faults)
+		}
+	}
 	t0 := e.ds.Snapshot.Taken
-	ranks := e.eval.EvaluateAll(e.users, t0)
-	nextTrigger := t0.Add(e.cfg.TriggerInterval)
-	captured := e.cfg.CaptureAt == 0
+	res := st.res
 
 	var day *DayStats
+	if n := len(res.Days); n > 0 {
+		// Resume mid-day: keep appending to the tail day's stats.
+		day = &res.Days[n-1]
+	}
 	dayFor := func(ts timeutil.Time) *DayStats {
 		d := ts.StartOfDay()
 		if day == nil || day.Day != d {
@@ -242,39 +314,54 @@ func (e *Emulator) Run(policy retention.Policy) (*Result, error) {
 		return day
 	}
 
-	var lastSnap timeutil.Time
 	trigger := func(at timeutil.Time) {
-		ranks = e.eval.EvaluateAll(e.users, at)
-		if !captured && at >= e.cfg.CaptureAt {
-			res.Captured = fsys.Clone()
-			captured = true
+		st.ranks = e.eval.EvaluateAll(e.users, at)
+		st.ranksAt = at
+		if !st.captured && at >= e.cfg.CaptureAt {
+			res.Captured = st.fsys.Clone()
+			st.captured = true
 		}
-		res.Reports = append(res.Reports, policy.Purge(fsys, ranks, at))
-		if e.cfg.SnapshotEvery > 0 && (lastSnap == 0 || at.Sub(lastSnap) >= e.cfg.SnapshotEvery) {
-			res.Snapshots = append(res.Snapshots, fsys.Snapshot(at))
-			lastSnap = at
+		res.Reports = append(res.Reports, policy.Purge(st.fsys, st.ranks, at))
+		if e.cfg.SnapshotEvery > 0 && (st.lastSnap == 0 || at.Sub(st.lastSnap) >= e.cfg.SnapshotEvery) {
+			res.Snapshots = append(res.Snapshots, st.fsys.Snapshot(at))
+			st.lastSnap = at
 		}
+		st.triggers++
 	}
 
-	for i := range e.ds.Accesses {
-		a := &e.ds.Accesses[i]
+	every := opts.CheckpointEvery
+	if every <= 0 {
+		every = 1
+	}
+	for st.cursor < len(e.ds.Accesses) {
+		a := &e.ds.Accesses[st.cursor]
 		if a.TS < t0 {
-			return nil, fmt.Errorf("sim: access %d at %v predates the snapshot (%v)", i, a.TS, t0)
+			return nil, fmt.Errorf("sim: access %d at %v predates the snapshot (%v)", st.cursor, a.TS, t0)
 		}
-		for a.TS >= nextTrigger {
-			trigger(nextTrigger)
-			nextTrigger = nextTrigger.Add(e.cfg.TriggerInterval)
+		for a.TS >= st.nextTrigger {
+			at := st.nextTrigger
+			trigger(at)
+			st.nextTrigger = at.Add(e.cfg.TriggerInterval)
+			if opts.CheckpointDir != "" && st.triggers%every == 0 {
+				if err := e.saveCheckpoint(opts, policy, st, at); err != nil {
+					return nil, err
+				}
+			}
+			if opts.StopAfterTriggers > 0 && st.triggers >= opts.StopAfterTriggers {
+				res.Elapsed = time.Since(start)
+				return res, ErrInterrupted
+			}
 		}
 		ds := dayFor(a.TS)
-		g := rankGroup(ranks, a.User)
+		g := rankGroup(st.ranks, a.User)
 		ds.Accesses++
 		ds.ByGroup[g].Accesses++
 		res.TotalAccesses++
 		switch {
 		case a.Create:
 			// Fresh output: insert, no miss possible.
-			insert(fsys, a)
-		case fsys.Touch(a.Path, a.TS):
+			insert(st.fsys, a)
+		case st.fsys.Touch(a.Path, a.TS):
 			// Hit: access time renewed.
 		default:
 			// Miss: the retention policy purged a file the user came
@@ -285,13 +372,14 @@ func (e *Emulator) Run(policy retention.Policy) (*Result, error) {
 			res.MissesByGroup[g]++
 			res.RestoredFiles++
 			res.RestoredBytes += a.Size
-			insert(fsys, a)
+			insert(st.fsys, a)
 		}
+		st.cursor++
 	}
-	if !captured {
-		res.Captured = fsys.Clone()
+	if !st.captured {
+		res.Captured = st.fsys.Clone()
 	}
-	res.Final = fsys
+	res.Final = st.fsys
 	res.Elapsed = time.Since(start)
 	return res, nil
 }

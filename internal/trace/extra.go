@@ -72,31 +72,50 @@ func WriteLogins(w io.Writer, users []User, logins []Login) error {
 
 // ReadLogins parses a login log.
 func ReadLogins(r io.Reader, byName map[string]UserID) ([]Login, error) {
+	logins, _, err := ReadLoginsWith(r, byName, ReadOptions{})
+	return logins, err
+}
+
+// ReadLoginsWith parses a login log under the given strictness.
+func ReadLoginsWith(r io.Reader, byName map[string]UserID, opts ReadOptions) ([]Login, *ParseReport, error) {
 	ls := newLineScanner(r, LoginsFile)
+	rep := &ParseReport{File: LoginsFile}
 	var logins []Login
 	for ls.scan() {
 		line := ls.text()
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		parts := strings.Split(line, "\t")
-		if len(parts) != 2 {
-			return nil, ls.errorf("want 2 fields, got %d", len(parts))
+		rep.Lines++
+		l, perr := parseLoginLine(line, byName)
+		if perr != nil {
+			if err := rep.quarantine(ls, opts, perr); err != nil {
+				return nil, rep, err
+			}
+			continue
 		}
-		ts, err := parseInt(parts[0])
-		if err != nil {
-			return nil, ls.errorf("bad timestamp %q", parts[0])
-		}
-		uid, ok := byName[parts[1]]
-		if !ok {
-			return nil, ls.errorf("unknown user %q", parts[1])
-		}
-		logins = append(logins, Login{User: uid, TS: timeutil.Time(ts)})
+		logins = append(logins, l)
 	}
-	if err := ls.err(); err != nil {
-		return nil, err
+	if err := rep.finish(ls, opts); err != nil {
+		return nil, rep, err
 	}
-	return logins, nil
+	return logins, rep, nil
+}
+
+func parseLoginLine(line string, byName map[string]UserID) (Login, error) {
+	parts := strings.Split(line, "\t")
+	if len(parts) != 2 {
+		return Login{}, fmt.Errorf("want 2 fields, got %d", len(parts))
+	}
+	ts, err := parseInt(parts[0])
+	if err != nil {
+		return Login{}, fmt.Errorf("bad timestamp %q", parts[0])
+	}
+	uid, ok := byName[parts[1]]
+	if !ok {
+		return Login{}, fmt.Errorf("unknown user %q", parts[1])
+	}
+	return Login{User: uid, TS: timeutil.Time(ts)}, nil
 }
 
 // WriteTransfers writes a transfer log as TSV: ts, user, dir, bytes.
@@ -114,42 +133,61 @@ func WriteTransfers(w io.Writer, users []User, xs []Transfer) error {
 
 // ReadTransfers parses a transfer log.
 func ReadTransfers(r io.Reader, byName map[string]UserID) ([]Transfer, error) {
+	xs, _, err := ReadTransfersWith(r, byName, ReadOptions{})
+	return xs, err
+}
+
+// ReadTransfersWith parses a transfer log under the given strictness.
+func ReadTransfersWith(r io.Reader, byName map[string]UserID, opts ReadOptions) ([]Transfer, *ParseReport, error) {
 	ls := newLineScanner(r, TransfersFile)
+	rep := &ParseReport{File: TransfersFile}
 	var xs []Transfer
 	for ls.scan() {
 		line := ls.text()
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		parts := strings.Split(line, "\t")
-		if len(parts) != 4 {
-			return nil, ls.errorf("want 4 fields, got %d", len(parts))
+		rep.Lines++
+		t, perr := parseTransferLine(line, byName)
+		if perr != nil {
+			if err := rep.quarantine(ls, opts, perr); err != nil {
+				return nil, rep, err
+			}
+			continue
 		}
-		ts, err1 := parseInt(parts[0])
-		bytes, err2 := parseInt(parts[3])
-		if err1 != nil || err2 != nil {
-			return nil, ls.errorf("bad numeric field in %q", line)
-		}
-		uid, ok := byName[parts[1]]
-		if !ok {
-			return nil, ls.errorf("unknown user %q", parts[1])
-		}
-		var dir TransferDir
-		switch parts[2] {
-		case "in":
-			dir = TransferIn
-		case "out":
-			dir = TransferOut
-		default:
-			return nil, ls.errorf("bad direction %q", parts[2])
-		}
-		if bytes < 0 {
-			return nil, ls.errorf("negative transfer size")
-		}
-		xs = append(xs, Transfer{User: uid, TS: timeutil.Time(ts), Dir: dir, Bytes: bytes})
+		xs = append(xs, t)
 	}
-	if err := ls.err(); err != nil {
-		return nil, err
+	if err := rep.finish(ls, opts); err != nil {
+		return nil, rep, err
 	}
-	return xs, nil
+	return xs, rep, nil
+}
+
+func parseTransferLine(line string, byName map[string]UserID) (Transfer, error) {
+	parts := strings.Split(line, "\t")
+	if len(parts) != 4 {
+		return Transfer{}, fmt.Errorf("want 4 fields, got %d", len(parts))
+	}
+	ts, err1 := parseInt(parts[0])
+	bytes, err2 := parseInt(parts[3])
+	if err1 != nil || err2 != nil {
+		return Transfer{}, fmt.Errorf("bad numeric field in %q", line)
+	}
+	uid, ok := byName[parts[1]]
+	if !ok {
+		return Transfer{}, fmt.Errorf("unknown user %q", parts[1])
+	}
+	var dir TransferDir
+	switch parts[2] {
+	case "in":
+		dir = TransferIn
+	case "out":
+		dir = TransferOut
+	default:
+		return Transfer{}, fmt.Errorf("bad direction %q", parts[2])
+	}
+	if bytes < 0 {
+		return Transfer{}, fmt.Errorf("negative transfer size")
+	}
+	return Transfer{User: uid, TS: timeutil.Time(ts), Dir: dir, Bytes: bytes}, nil
 }

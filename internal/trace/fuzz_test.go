@@ -1,13 +1,15 @@
 package trace
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
 
 // The readers must never panic on arbitrary input — a malformed line
-// yields an error, nothing else. Run with `go test -fuzz FuzzReaders`
-// for continuous fuzzing; the seeds below run in normal test mode.
+// yields an error (strict) or a quarantine entry (lenient), nothing
+// else. Run with `go test -fuzz FuzzReaders` for continuous fuzzing;
+// the seeds below run in normal test mode.
 
 func FuzzReaders(f *testing.F) {
 	seeds := []string{
@@ -22,28 +24,69 @@ func FuzzReaders(f *testing.F) {
 		"\t\t\t\t\n",
 		"u000\t" + strings.Repeat("9", 30) + "\n", // overflow timestamp
 		"u000\t100\tx\ty\tz\n",
+		"#taken\tzzz\nu000\t1\t2\t3\t/p\n", // bad header, good row
+		strings.Repeat("garbage\n", 12),    // more bad lines than maxErr
 	}
 	for _, s := range seeds {
 		f.Add(s)
 	}
 	idx := map[string]UserID{"u000": 0, "u001": 1}
+	const maxErr = 8
+	lenient := ReadOptions{Lenient: true, MaxErrors: maxErr}
+
+	// check runs one reader in strict and lenient mode against the
+	// same input and enforces the cross-mode invariants: a lenient
+	// success quarantines at most MaxErrors lines, and a strict
+	// success implies a clean lenient report with the identical
+	// result.
+	check := func(t *testing.T, name string, strictVal any, strictErr error, lenVal any, rep *ParseReport, lenErr error) {
+		t.Helper()
+		if lenErr == nil && len(rep.Errors) > maxErr {
+			t.Fatalf("%s: lenient read kept %d quarantined lines, cap is %d", name, len(rep.Errors), maxErr)
+		}
+		if strictErr != nil {
+			return
+		}
+		if lenErr != nil {
+			t.Fatalf("%s: strict succeeded but lenient failed: %v", name, lenErr)
+		}
+		if !rep.Clean() {
+			t.Fatalf("%s: strict succeeded but lenient report dirty: %s", name, rep.Summary())
+		}
+		if !reflect.DeepEqual(strictVal, lenVal) {
+			t.Fatalf("%s: strict and lenient disagree on clean input", name)
+		}
+	}
+
 	f.Fuzz(func(t *testing.T, input string) {
 		r := func() *strings.Reader { return strings.NewReader(input) }
-		// Every reader either parses or errors; panics fail the fuzz.
-		if users, err := ReadUsers(r()); err == nil {
-			for _, u := range users {
-				if u.Name == "" && input != "" && !strings.HasPrefix(input, "#") {
-					// Empty names only from empty fields; acceptable,
-					// Validate would flag them downstream.
-					_ = u
-				}
-			}
-		}
-		_, _ = ReadJobs(r(), idx)
-		_, _ = ReadAccesses(r(), idx)
-		_, _ = ReadPublications(r(), idx)
-		_, _ = ReadSnapshot(r(), idx)
-		_, _ = ReadLogins(r(), idx)
-		_, _ = ReadTransfers(r(), idx)
+
+		su, serr := ReadUsers(r())
+		lu, urep, lerr := ReadUsersWith(r(), lenient)
+		check(t, "users", su, serr, lu, urep, lerr)
+
+		sj, serr := ReadJobs(r(), idx)
+		lj, jrep, lerr := ReadJobsWith(r(), idx, lenient)
+		check(t, "jobs", sj, serr, lj, jrep, lerr)
+
+		sa, serr := ReadAccesses(r(), idx)
+		la, arep, lerr := ReadAccessesWith(r(), idx, lenient)
+		check(t, "accesses", sa, serr, la, arep, lerr)
+
+		sp, serr := ReadPublications(r(), idx)
+		lp, prep, lerr := ReadPublicationsWith(r(), idx, lenient)
+		check(t, "publications", sp, serr, lp, prep, lerr)
+
+		ss, serr := ReadSnapshot(r(), idx)
+		lsnap, srep, lerr := ReadSnapshotWith(r(), idx, lenient)
+		check(t, "snapshot", ss, serr, lsnap, srep, lerr)
+
+		sl, serr := ReadLogins(r(), idx)
+		ll, lrep, lerr := ReadLoginsWith(r(), idx, lenient)
+		check(t, "logins", sl, serr, ll, lrep, lerr)
+
+		st, serr := ReadTransfers(r(), idx)
+		lt, trep, lerr := ReadTransfersWith(r(), idx, lenient)
+		check(t, "transfers", st, serr, lt, trep, lerr)
 	})
 }

@@ -3,6 +3,7 @@ package trace
 import (
 	"bufio"
 	"compress/gzip"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -23,6 +24,22 @@ const (
 	SnapshotFile = "snapshot.tsv.gz"
 )
 
+// closeAll composes layered closers (innermost first) into one that
+// always runs every layer and joins the failures with errors.Join, so
+// an inner-layer error can neither mask an outer close error nor leak
+// the outer layer entirely.
+func closeAll(closers ...func() error) func() error {
+	return func() error {
+		var errs []error
+		for _, c := range closers {
+			if err := c(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		return errors.Join(errs...)
+	}
+}
+
 // openReader opens path, transparently ungzipping *.gz. The returned
 // closer closes both layers.
 func openReader(path string) (io.Reader, func() error, error) {
@@ -38,14 +55,7 @@ func openReader(path string) (io.Reader, func() error, error) {
 		f.Close()
 		return nil, nil, fmt.Errorf("trace: open %s: %w", path, err)
 	}
-	return gz, func() error {
-		gerr := gz.Close()
-		ferr := f.Close()
-		if gerr != nil {
-			return gerr
-		}
-		return ferr
-	}, nil
+	return gz, closeAll(gz.Close, f.Close), nil
 }
 
 // openWriter creates path, transparently gzipping *.gz.
@@ -56,26 +66,10 @@ func openWriter(path string) (io.Writer, func() error, error) {
 	}
 	bw := bufio.NewWriterSize(f, 1<<20)
 	if !strings.HasSuffix(path, ".gz") {
-		return bw, func() error {
-			if err := bw.Flush(); err != nil {
-				f.Close()
-				return err
-			}
-			return f.Close()
-		}, nil
+		return bw, closeAll(bw.Flush, f.Close), nil
 	}
 	gz := gzip.NewWriter(bw)
-	return gz, func() error {
-		if err := gz.Close(); err != nil {
-			f.Close()
-			return err
-		}
-		if err := bw.Flush(); err != nil {
-			f.Close()
-			return err
-		}
-		return f.Close()
-	}, nil
+	return gz, closeAll(gz.Close, bw.Flush, f.Close), nil
 }
 
 // lineScanner wraps bufio.Scanner with a large buffer (snapshot rows
@@ -131,20 +125,35 @@ func WriteUsers(w io.Writer, users []User) error {
 
 // ReadUsers parses a user list, assigning dense IDs in file order.
 func ReadUsers(r io.Reader) ([]User, error) {
+	users, _, err := ReadUsersWith(r, ReadOptions{})
+	return users, err
+}
+
+// ReadUsersWith parses a user list under the given strictness;
+// quarantined lines do not consume an ID.
+func ReadUsersWith(r io.Reader, opts ReadOptions) ([]User, *ParseReport, error) {
 	ls := newLineScanner(r, UsersFile)
+	rep := &ParseReport{File: UsersFile}
 	var users []User
 	for ls.scan() {
 		line := ls.text()
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
+		rep.Lines++
 		parts := strings.Split(line, "\t")
 		if len(parts) < 2 {
-			return nil, ls.errorf("want ≥2 fields, got %d", len(parts))
+			if err := rep.quarantine(ls, opts, fmt.Errorf("want ≥2 fields, got %d", len(parts))); err != nil {
+				return nil, rep, err
+			}
+			continue
 		}
 		created, err := parseInt(parts[1])
 		if err != nil {
-			return nil, ls.errorf("bad created timestamp %q", parts[1])
+			if err := rep.quarantine(ls, opts, fmt.Errorf("bad created timestamp %q", parts[1])); err != nil {
+				return nil, rep, err
+			}
+			continue
 		}
 		u := User{ID: UserID(len(users)), Name: parts[0], Created: timeutil.Time(created)}
 		if len(parts) >= 3 {
@@ -152,10 +161,10 @@ func ReadUsers(r io.Reader) ([]User, error) {
 		}
 		users = append(users, u)
 	}
-	if err := ls.err(); err != nil {
-		return nil, err
+	if err := rep.finish(ls, opts); err != nil {
+		return nil, rep, err
 	}
-	return users, nil
+	return users, rep, nil
 }
 
 // --- jobs ---
@@ -175,38 +184,57 @@ func WriteJobs(w io.Writer, users []User, jobs []Job) error {
 
 // ReadJobs parses a job log using the name→ID index.
 func ReadJobs(r io.Reader, byName map[string]UserID) ([]Job, error) {
+	jobs, _, err := ReadJobsWith(r, byName, ReadOptions{})
+	return jobs, err
+}
+
+// ReadJobsWith parses a job log under the given strictness.
+func ReadJobsWith(r io.Reader, byName map[string]UserID, opts ReadOptions) ([]Job, *ParseReport, error) {
 	ls := newLineScanner(r, JobsFile)
+	rep := &ParseReport{File: JobsFile}
 	var jobs []Job
 	for ls.scan() {
 		line := ls.text()
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		parts := strings.Split(line, "\t")
-		if len(parts) != 4 {
-			return nil, ls.errorf("want 4 fields, got %d", len(parts))
+		rep.Lines++
+		j, perr := parseJobLine(line, byName)
+		if perr != nil {
+			if err := rep.quarantine(ls, opts, perr); err != nil {
+				return nil, rep, err
+			}
+			continue
 		}
-		uid, ok := byName[parts[0]]
-		if !ok {
-			return nil, ls.errorf("unknown user %q", parts[0])
-		}
-		submit, err1 := parseInt(parts[1])
-		dur, err2 := parseInt(parts[2])
-		cores, err3 := parseInt(parts[3])
-		if err1 != nil || err2 != nil || err3 != nil {
-			return nil, ls.errorf("bad numeric field in %q", line)
-		}
-		jobs = append(jobs, Job{
-			User:     uid,
-			Submit:   timeutil.Time(submit),
-			Duration: timeutil.Duration(dur),
-			Cores:    int(cores),
-		})
+		jobs = append(jobs, j)
 	}
-	if err := ls.err(); err != nil {
-		return nil, err
+	if err := rep.finish(ls, opts); err != nil {
+		return nil, rep, err
 	}
-	return jobs, nil
+	return jobs, rep, nil
+}
+
+func parseJobLine(line string, byName map[string]UserID) (Job, error) {
+	parts := strings.Split(line, "\t")
+	if len(parts) != 4 {
+		return Job{}, fmt.Errorf("want 4 fields, got %d", len(parts))
+	}
+	uid, ok := byName[parts[0]]
+	if !ok {
+		return Job{}, fmt.Errorf("unknown user %q", parts[0])
+	}
+	submit, err1 := parseInt(parts[1])
+	dur, err2 := parseInt(parts[2])
+	cores, err3 := parseInt(parts[3])
+	if err1 != nil || err2 != nil || err3 != nil {
+		return Job{}, fmt.Errorf("bad numeric field in %q", line)
+	}
+	return Job{
+		User:     uid,
+		Submit:   timeutil.Time(submit),
+		Duration: timeutil.Duration(dur),
+		Cores:    int(cores),
+	}, nil
 }
 
 // --- accesses ---
@@ -231,42 +259,62 @@ func WriteAccesses(w io.Writer, users []User, accs []Access) error {
 
 // ReadAccesses parses an application log.
 func ReadAccesses(r io.Reader, byName map[string]UserID) ([]Access, error) {
+	accs, _, err := ReadAccessesWith(r, byName, ReadOptions{})
+	return accs, err
+}
+
+// ReadAccessesWith parses an application log under the given
+// strictness.
+func ReadAccessesWith(r io.Reader, byName map[string]UserID, opts ReadOptions) ([]Access, *ParseReport, error) {
 	ls := newLineScanner(r, AccessesFile)
+	rep := &ParseReport{File: AccessesFile}
 	var accs []Access
 	for ls.scan() {
 		line := ls.text()
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		parts := strings.SplitN(line, "\t", 5)
-		if len(parts) != 5 {
-			return nil, ls.errorf("want 5 fields, got %d", len(parts))
+		rep.Lines++
+		a, perr := parseAccessLine(line, byName)
+		if perr != nil {
+			if err := rep.quarantine(ls, opts, perr); err != nil {
+				return nil, rep, err
+			}
+			continue
 		}
-		ts, err1 := parseInt(parts[0])
-		uid, ok := byName[parts[1]]
-		create, err2 := parseInt(parts[2])
-		size, err3 := parseInt(parts[3])
-		if err1 != nil || err2 != nil || err3 != nil {
-			return nil, ls.errorf("bad numeric field in %q", line)
-		}
-		if !ok {
-			return nil, ls.errorf("unknown user %q", parts[1])
-		}
-		if parts[4] == "" {
-			return nil, ls.errorf("empty path")
-		}
-		accs = append(accs, Access{
-			TS:     timeutil.Time(ts),
-			User:   uid,
-			Create: create != 0,
-			Size:   size,
-			Path:   parts[4],
-		})
+		accs = append(accs, a)
 	}
-	if err := ls.err(); err != nil {
-		return nil, err
+	if err := rep.finish(ls, opts); err != nil {
+		return nil, rep, err
 	}
-	return accs, nil
+	return accs, rep, nil
+}
+
+func parseAccessLine(line string, byName map[string]UserID) (Access, error) {
+	parts := strings.SplitN(line, "\t", 5)
+	if len(parts) != 5 {
+		return Access{}, fmt.Errorf("want 5 fields, got %d", len(parts))
+	}
+	ts, err1 := parseInt(parts[0])
+	uid, ok := byName[parts[1]]
+	create, err2 := parseInt(parts[2])
+	size, err3 := parseInt(parts[3])
+	if err1 != nil || err2 != nil || err3 != nil {
+		return Access{}, fmt.Errorf("bad numeric field in %q", line)
+	}
+	if !ok {
+		return Access{}, fmt.Errorf("unknown user %q", parts[1])
+	}
+	if parts[4] == "" {
+		return Access{}, fmt.Errorf("empty path")
+	}
+	return Access{
+		TS:     timeutil.Time(ts),
+		User:   uid,
+		Create: create != 0,
+		Size:   size,
+		Path:   parts[4],
+	}, nil
 }
 
 // --- publications ---
@@ -291,41 +339,61 @@ func WritePublications(w io.Writer, users []User, pubs []Publication) error {
 
 // ReadPublications parses a publication list.
 func ReadPublications(r io.Reader, byName map[string]UserID) ([]Publication, error) {
+	pubs, _, err := ReadPublicationsWith(r, byName, ReadOptions{})
+	return pubs, err
+}
+
+// ReadPublicationsWith parses a publication list under the given
+// strictness.
+func ReadPublicationsWith(r io.Reader, byName map[string]UserID, opts ReadOptions) ([]Publication, *ParseReport, error) {
 	ls := newLineScanner(r, PubsFile)
+	rep := &ParseReport{File: PubsFile}
 	var pubs []Publication
 	for ls.scan() {
 		line := ls.text()
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		parts := strings.Split(line, "\t")
-		if len(parts) != 3 {
-			return nil, ls.errorf("want 3 fields, got %d", len(parts))
-		}
-		ts, err1 := parseInt(parts[0])
-		cites, err2 := parseInt(parts[1])
-		if err1 != nil || err2 != nil {
-			return nil, ls.errorf("bad numeric field in %q", line)
-		}
-		names := strings.Split(parts[2], ",")
-		authors := make([]UserID, 0, len(names))
-		for _, name := range names {
-			uid, ok := byName[name]
-			if !ok {
-				return nil, ls.errorf("unknown author %q", name)
+		rep.Lines++
+		p, perr := parsePublicationLine(line, byName)
+		if perr != nil {
+			if err := rep.quarantine(ls, opts, perr); err != nil {
+				return nil, rep, err
 			}
-			authors = append(authors, uid)
+			continue
 		}
-		pubs = append(pubs, Publication{
-			TS:        timeutil.Time(ts),
-			Citations: int(cites),
-			Authors:   authors,
-		})
+		pubs = append(pubs, p)
 	}
-	if err := ls.err(); err != nil {
-		return nil, err
+	if err := rep.finish(ls, opts); err != nil {
+		return nil, rep, err
 	}
-	return pubs, nil
+	return pubs, rep, nil
+}
+
+func parsePublicationLine(line string, byName map[string]UserID) (Publication, error) {
+	parts := strings.Split(line, "\t")
+	if len(parts) != 3 {
+		return Publication{}, fmt.Errorf("want 3 fields, got %d", len(parts))
+	}
+	ts, err1 := parseInt(parts[0])
+	cites, err2 := parseInt(parts[1])
+	if err1 != nil || err2 != nil {
+		return Publication{}, fmt.Errorf("bad numeric field in %q", line)
+	}
+	names := strings.Split(parts[2], ",")
+	authors := make([]UserID, 0, len(names))
+	for _, name := range names {
+		uid, ok := byName[name]
+		if !ok {
+			return Publication{}, fmt.Errorf("unknown author %q", name)
+		}
+		authors = append(authors, uid)
+	}
+	return Publication{
+		TS:        timeutil.Time(ts),
+		Citations: int(cites),
+		Authors:   authors,
+	}, nil
 }
 
 // --- snapshots ---
@@ -350,7 +418,15 @@ func WriteSnapshot(w io.Writer, users []User, s *Snapshot) error {
 
 // ReadSnapshot parses a metadata snapshot.
 func ReadSnapshot(r io.Reader, byName map[string]UserID) (*Snapshot, error) {
+	s, _, err := ReadSnapshotWith(r, byName, ReadOptions{})
+	return s, err
+}
+
+// ReadSnapshotWith parses a metadata snapshot under the given
+// strictness.
+func ReadSnapshotWith(r io.Reader, byName map[string]UserID, opts ReadOptions) (*Snapshot, *ParseReport, error) {
 	ls := newLineScanner(r, SnapshotFile)
+	rep := &ParseReport{File: SnapshotFile}
 	s := &Snapshot{}
 	for ls.scan() {
 		line := ls.text()
@@ -360,7 +436,11 @@ func ReadSnapshot(r io.Reader, byName map[string]UserID) (*Snapshot, error) {
 		if strings.HasPrefix(line, "#taken\t") {
 			ts, err := parseInt(strings.TrimPrefix(line, "#taken\t"))
 			if err != nil {
-				return nil, ls.errorf("bad taken timestamp")
+				rep.Lines++
+				if err := rep.quarantine(ls, opts, errors.New("bad taken timestamp")); err != nil {
+					return nil, rep, err
+				}
+				continue
 			}
 			s.Taken = timeutil.Time(ts)
 			continue
@@ -368,33 +448,76 @@ func ReadSnapshot(r io.Reader, byName map[string]UserID) (*Snapshot, error) {
 		if strings.HasPrefix(line, "#") {
 			continue
 		}
-		parts := strings.SplitN(line, "\t", 5)
-		if len(parts) != 5 {
-			return nil, ls.errorf("want 5 fields, got %d", len(parts))
+		rep.Lines++
+		e, perr := parseSnapshotLine(line, byName)
+		if perr != nil {
+			if err := rep.quarantine(ls, opts, perr); err != nil {
+				return nil, rep, err
+			}
+			continue
 		}
-		uid, ok := byName[parts[0]]
-		if !ok {
-			return nil, ls.errorf("unknown user %q", parts[0])
-		}
-		size, err1 := parseInt(parts[1])
-		stripes, err2 := parseInt(parts[2])
-		atime, err3 := parseInt(parts[3])
-		if err1 != nil || err2 != nil || err3 != nil {
-			return nil, ls.errorf("bad numeric field in %q", line)
-		}
-		if parts[4] == "" {
-			return nil, ls.errorf("empty path")
-		}
-		s.Entries = append(s.Entries, SnapshotEntry{
-			Path:    parts[4],
-			User:    uid,
-			Size:    size,
-			Stripes: int(stripes),
-			ATime:   timeutil.Time(atime),
-		})
+		s.Entries = append(s.Entries, e)
 	}
-	if err := ls.err(); err != nil {
+	if err := rep.finish(ls, opts); err != nil {
+		return nil, rep, err
+	}
+	return s, rep, nil
+}
+
+func parseSnapshotLine(line string, byName map[string]UserID) (SnapshotEntry, error) {
+	parts := strings.SplitN(line, "\t", 5)
+	if len(parts) != 5 {
+		return SnapshotEntry{}, fmt.Errorf("want 5 fields, got %d", len(parts))
+	}
+	uid, ok := byName[parts[0]]
+	if !ok {
+		return SnapshotEntry{}, fmt.Errorf("unknown user %q", parts[0])
+	}
+	size, err1 := parseInt(parts[1])
+	stripes, err2 := parseInt(parts[2])
+	atime, err3 := parseInt(parts[3])
+	if err1 != nil || err2 != nil || err3 != nil {
+		return SnapshotEntry{}, fmt.Errorf("bad numeric field in %q", line)
+	}
+	if parts[4] == "" {
+		return SnapshotEntry{}, fmt.Errorf("empty path")
+	}
+	return SnapshotEntry{
+		Path:    parts[4],
+		User:    uid,
+		Size:    size,
+		Stripes: int(stripes),
+		ATime:   timeutil.Time(atime),
+	}, nil
+}
+
+// WriteSnapshotFile writes one metadata snapshot to path
+// (transparently gzipped for .gz paths).
+func WriteSnapshotFile(path string, users []User, s *Snapshot) error {
+	w, closeFn, err := openWriter(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteSnapshot(w, users, s); err != nil {
+		closeFn()
+		return fmt.Errorf("trace: write %s: %w", path, err)
+	}
+	if err := closeFn(); err != nil {
+		return fmt.Errorf("trace: close %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadSnapshotFile reads one metadata snapshot from path.
+func ReadSnapshotFile(path string, byName map[string]UserID) (*Snapshot, error) {
+	r, closeFn, err := openReader(path)
+	if err != nil {
 		return nil, err
+	}
+	defer closeFn()
+	s, err := ReadSnapshot(r, byName)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %s: %w", path, err)
 	}
 	return s, nil
 }
@@ -408,16 +531,8 @@ func WriteSnapshotSeries(dir string, users []User, snaps []*Snapshot) error {
 	}
 	for _, snap := range snaps {
 		name := fmt.Sprintf("snapshot-%s.tsv.gz", snap.Taken.Go().Format("20060102"))
-		w, closeFn, err := openWriter(filepath.Join(dir, name))
-		if err != nil {
+		if err := WriteSnapshotFile(filepath.Join(dir, name), users, snap); err != nil {
 			return err
-		}
-		if err := WriteSnapshot(w, users, snap); err != nil {
-			closeFn()
-			return fmt.Errorf("trace: write %s: %w", name, err)
-		}
-		if err := closeFn(); err != nil {
-			return fmt.Errorf("trace: close %s: %w", name, err)
 		}
 	}
 	return nil
@@ -505,79 +620,120 @@ func WriteDataset(dir string, d *Dataset) error {
 // LoadDataset reads every trace kind from dir and validates the
 // result.
 func LoadDataset(dir string) (*Dataset, error) {
+	d, _, err := LoadDatasetWith(dir, ReadOptions{})
+	return d, err
+}
+
+// LoadDatasetWith reads every trace kind from dir under the given
+// strictness and validates the result. The DatasetReport carries the
+// per-file parse reports (in lenient mode, quarantined lines and
+// truncation flags; in strict mode they are all clean by
+// construction).
+func LoadDatasetWith(dir string, opts ReadOptions) (*Dataset, *DatasetReport, error) {
 	d := &Dataset{}
-	read := func(name string, fn func(io.Reader) error) error {
+	rep := &DatasetReport{}
+	read := func(name string, fn func(io.Reader) (*ParseReport, error)) error {
 		r, closeFn, err := openReader(filepath.Join(dir, name))
 		if err != nil {
 			return err
 		}
-		defer closeFn()
-		if err := fn(r); err != nil {
-			return err
+		fr, ferr := fn(r)
+		if fr != nil {
+			rep.Reports = append(rep.Reports, fr)
+		}
+		cerr := closeFn()
+		if ferr != nil {
+			return ferr
+		}
+		if cerr != nil {
+			// A cut-short gzip member also fails its close; the
+			// salvaged records are already in hand.
+			if opts.Lenient && fr != nil && fr.Truncated && isTruncation(cerr) {
+				return nil
+			}
+			return cerr
 		}
 		return nil
 	}
-	err := read(UsersFile, func(r io.Reader) error {
-		var e error
-		d.Users, e = ReadUsers(r)
-		return e
+	err := read(UsersFile, func(r io.Reader) (*ParseReport, error) {
+		var (
+			fr *ParseReport
+			e  error
+		)
+		d.Users, fr, e = ReadUsersWith(r, opts)
+		return fr, e
 	})
 	if err != nil {
-		return nil, err
+		return nil, rep, err
 	}
 	idx := NameIndex(d.Users)
-	if err := read(JobsFile, func(r io.Reader) error {
-		var e error
-		d.Jobs, e = ReadJobs(r, idx)
-		return e
+	if err := read(JobsFile, func(r io.Reader) (*ParseReport, error) {
+		var (
+			fr *ParseReport
+			e  error
+		)
+		d.Jobs, fr, e = ReadJobsWith(r, idx, opts)
+		return fr, e
 	}); err != nil {
-		return nil, err
+		return nil, rep, err
 	}
-	if err := read(AccessesFile, func(r io.Reader) error {
-		var e error
-		d.Accesses, e = ReadAccesses(r, idx)
-		return e
+	if err := read(AccessesFile, func(r io.Reader) (*ParseReport, error) {
+		var (
+			fr *ParseReport
+			e  error
+		)
+		d.Accesses, fr, e = ReadAccessesWith(r, idx, opts)
+		return fr, e
 	}); err != nil {
-		return nil, err
+		return nil, rep, err
 	}
-	if err := read(PubsFile, func(r io.Reader) error {
-		var e error
-		d.Publications, e = ReadPublications(r, idx)
-		return e
+	if err := read(PubsFile, func(r io.Reader) (*ParseReport, error) {
+		var (
+			fr *ParseReport
+			e  error
+		)
+		d.Publications, fr, e = ReadPublicationsWith(r, idx, opts)
+		return fr, e
 	}); err != nil {
-		return nil, err
+		return nil, rep, err
 	}
 	// Logins and transfers are optional trace kinds.
 	if _, err := os.Stat(filepath.Join(dir, LoginsFile)); err == nil {
-		if err := read(LoginsFile, func(r io.Reader) error {
-			var e error
-			d.Logins, e = ReadLogins(r, idx)
-			return e
+		if err := read(LoginsFile, func(r io.Reader) (*ParseReport, error) {
+			var (
+				fr *ParseReport
+				e  error
+			)
+			d.Logins, fr, e = ReadLoginsWith(r, idx, opts)
+			return fr, e
 		}); err != nil {
-			return nil, err
+			return nil, rep, err
 		}
 	}
 	if _, err := os.Stat(filepath.Join(dir, TransfersFile)); err == nil {
-		if err := read(TransfersFile, func(r io.Reader) error {
-			var e error
-			d.Transfers, e = ReadTransfers(r, idx)
-			return e
+		if err := read(TransfersFile, func(r io.Reader) (*ParseReport, error) {
+			var (
+				fr *ParseReport
+				e  error
+			)
+			d.Transfers, fr, e = ReadTransfersWith(r, idx, opts)
+			return fr, e
 		}); err != nil {
-			return nil, err
+			return nil, rep, err
 		}
 	}
-	if err := read(SnapshotFile, func(r io.Reader) error {
-		s, e := ReadSnapshot(r, idx)
+	if err := read(SnapshotFile, func(r io.Reader) (*ParseReport, error) {
+		s, fr, e := ReadSnapshotWith(r, idx, opts)
 		if e != nil {
-			return e
+			return fr, e
 		}
 		d.Snapshot = *s
-		return nil
+		return fr, nil
 	}); err != nil {
-		return nil, err
+		return nil, rep, err
 	}
 	if err := d.Validate(); err != nil {
-		return nil, err
+		return nil, rep, err
 	}
-	return d, nil
+	return d, rep, nil
 }
