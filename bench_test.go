@@ -248,6 +248,66 @@ func BenchmarkSnapshotScan(b *testing.B) {
 	}
 }
 
+// --- full-year replay benchmarks (the headline hot path) ---
+
+// replayPolicy replays the whole evaluation year under one policy,
+// reporting allocations: this is the purge-trigger hot path the
+// incremental candidate index optimizes.
+func replayPolicy(b *testing.B, build func(em *sim.Emulator) retention.Policy, legacy bool) {
+	ds := benchDataset(b)
+	em, err := sim.New(ds, sim.Config{TargetUtilization: 0.5, LegacySelection: legacy})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var misses int64
+	for i := 0; i < b.N; i++ {
+		res, err := em.Run(build(em))
+		if err != nil {
+			b.Fatal(err)
+		}
+		misses = res.TotalMisses
+	}
+	b.ReportMetric(float64(misses), "misses")
+}
+
+// BenchmarkReplayFLT measures the full-year FLT replay on the indexed
+// selection path.
+func BenchmarkReplayFLT(b *testing.B) {
+	replayPolicy(b, func(em *sim.Emulator) retention.Policy { return em.NewFLT() }, false)
+}
+
+// BenchmarkReplayFLTLegacy is the same replay on the legacy
+// namespace-walk selection path (the pre-index baseline).
+func BenchmarkReplayFLTLegacy(b *testing.B) {
+	replayPolicy(b, func(em *sim.Emulator) retention.Policy { return em.NewFLT() }, true)
+}
+
+// BenchmarkReplayActiveDR measures the full-year ActiveDR replay on
+// the indexed selection path.
+func BenchmarkReplayActiveDR(b *testing.B) {
+	replayPolicy(b, func(em *sim.Emulator) retention.Policy {
+		adr, err := em.NewActiveDR()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return adr
+	}, false)
+}
+
+// BenchmarkReplayActiveDRLegacy is the same replay on the legacy
+// walk-per-trigger selection path.
+func BenchmarkReplayActiveDRLegacy(b *testing.B) {
+	replayPolicy(b, func(em *sim.Emulator) retention.Policy {
+		adr, err := em.NewActiveDR()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return adr
+	}, true)
+}
+
 // --- ablations of DESIGN.md §3 choices ---
 
 // runComparison replays the year with a custom sim config and reports

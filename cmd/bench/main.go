@@ -1,0 +1,199 @@
+// Command bench runs the repository's benchmark suite and records the
+// parsed results in a BENCH_<date>.json trajectory file, so perf
+// changes across commits leave a machine-readable trail instead of
+// numbers pasted into commit messages.
+//
+// Each invocation appends one run (timestamp, toolchain, the go test
+// arguments, and every parsed benchmark with its metrics) to the
+// day's file, creating it when absent. See README.md ("Benchmark
+// trajectories") for the format.
+//
+// Usage:
+//
+//	bench                                   # full suite, default time
+//	bench -bench 'Replay' -count 3          # replay benches only
+//	bench -benchtime 1x -label smoke        # CI smoke run
+//	bench -o BENCH_baseline.json            # explicit output file
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line: the benchmark's name (with its
+// -cpu suffix), the iteration count, and every reported metric keyed
+// by unit (ns/op, B/op, allocs/op, plus custom units like misses).
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Run is one bench invocation's worth of results.
+type Run struct {
+	Timestamp  string      `json:"timestamp"`
+	Label      string      `json:"label,omitempty"`
+	Go         string      `json:"go"`
+	Args       []string    `json:"args"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Trajectory is the top-level BENCH_<date>.json document: every run
+// recorded that day, oldest first.
+type Trajectory struct {
+	Runs []Run `json:"runs"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bench: ")
+	var (
+		bench     = flag.String("bench", ".", "benchmark pattern passed to go test -bench")
+		benchtime = flag.String("benchtime", "", "passed to go test -benchtime (empty = go default)")
+		count     = flag.Int("count", 1, "passed to go test -count")
+		short     = flag.Bool("short", false, "pass -short (skips the million-file namespaces)")
+		pkgs      = flag.String("pkgs", "./...", "comma-separated package patterns to benchmark")
+		label     = flag.String("label", "", "free-form tag recorded with the run (e.g. before, after, smoke)")
+		out       = flag.String("o", "", "output file (empty = BENCH_<date>.json in the working directory)")
+		input     = flag.String("input", "", "record results from an existing go test -bench output file instead of running the suite")
+	)
+	flag.Parse()
+
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		benches, err := parseBenchOutput(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		record(*out, Run{Label: *label, Go: runtime.Version(),
+			Args: []string{"-input", *input}, Benchmarks: benches})
+		return
+	}
+
+	args := []string{"test", "-run=^$", "-bench", *bench, "-benchmem", "-count", strconv.Itoa(*count)}
+	if *benchtime != "" {
+		args = append(args, "-benchtime", *benchtime)
+	}
+	if *short {
+		args = append(args, "-short")
+	}
+	args = append(args, strings.Split(*pkgs, ",")...)
+
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		log.Fatal(err)
+	}
+	benches, perr := parseBenchOutput(io.TeeReader(stdout, os.Stdout))
+	if err := cmd.Wait(); err != nil {
+		log.Fatalf("go %s: %v", strings.Join(args, " "), err)
+	}
+	if perr != nil {
+		log.Fatal(perr)
+	}
+	if len(benches) == 0 {
+		log.Fatalf("no benchmarks matched %q", *bench)
+	}
+	record(*out, Run{Label: *label, Go: runtime.Version(), Args: args, Benchmarks: benches})
+}
+
+// record appends one timestamped run to the trajectory file.
+func record(path string, run Run) {
+	if len(run.Benchmarks) == 0 {
+		log.Fatal("no benchmark result lines found")
+	}
+	now := time.Now()
+	run.Timestamp = now.Format(time.RFC3339)
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", now.Format("2006-01-02"))
+	}
+	traj, err := loadTrajectory(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	traj.Runs = append(traj.Runs, run)
+	if err := writeTrajectory(path, traj); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recorded %d benchmarks to %s (%d runs)\n", len(run.Benchmarks), path, len(traj.Runs))
+}
+
+// parseBenchOutput extracts result lines of the form
+//
+//	BenchmarkName-8  3  130101576 ns/op  6999 misses  14241594 B/op  77327 allocs/op
+//
+// into Benchmark values. Non-benchmark lines (headers, PASS/ok) are
+// skipped.
+func parseBenchOutput(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") || len(f)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: f[0], Iterations: iters, Metrics: map[string]float64{}}
+		ok := true
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			b.Metrics[f[i+1]] = v
+		}
+		if ok {
+			out = append(out, b)
+		}
+	}
+	return out, sc.Err()
+}
+
+// loadTrajectory reads an existing trajectory file, or returns an
+// empty one when the file does not exist yet.
+func loadTrajectory(path string) (*Trajectory, error) {
+	blob, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Trajectory{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var t Trajectory
+	if err := json.Unmarshal(blob, &t); err != nil {
+		return nil, fmt.Errorf("%s: %w (move it aside to start a fresh trajectory)", path, err)
+	}
+	return &t, nil
+}
+
+func writeTrajectory(path string, t *Trajectory) error {
+	blob, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}

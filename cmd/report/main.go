@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"activedr/internal/experiments"
+	"activedr/internal/profiling"
 	"activedr/internal/trace"
 )
 
@@ -30,10 +31,22 @@ func main() {
 		seed    = flag.Uint64("seed", 0, "synthetic seed (when -data is empty)")
 		fig     = flag.String("fig", "all", "figure/table to render: all, t1, 1, 5, 6, 7, 8, 9, 10, 11, 12, ablation")
 		out     = flag.String("o", "", "output file (empty = stdout)")
-		ranks   = flag.Int("ranks", 4, "parallel ranks for Figure 12")
+		ranks   = flag.Int("ranks", 4, "parallel ranks for the replay sweep and Figure 12")
 		lenient = flag.Bool("lenient", false, "quarantine malformed trace lines instead of aborting")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the figure runs to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	var suite *experiments.Suite
 	if *data != "" {

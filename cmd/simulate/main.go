@@ -27,6 +27,7 @@ import (
 	"activedr/internal/activeness"
 	"activedr/internal/archive"
 	"activedr/internal/faults"
+	"activedr/internal/profiling"
 	"activedr/internal/retention"
 	"activedr/internal/sim"
 	"activedr/internal/stats"
@@ -55,11 +56,23 @@ func main() {
 		ckptDir   = flag.String("checkpoint-dir", "", "persist resumable checkpoints under this directory (one subdirectory per policy)")
 		ckptEvery = flag.Int("checkpoint-every", 1, "checkpoint once every N purge triggers")
 		resume    = flag.Bool("resume", false, "resume each policy from its latest checkpoint under -checkpoint-dir")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the replay to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 	if *resume && *ckptDir == "" {
 		log.Fatal("-resume requires -checkpoint-dir")
 	}
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	ds := loadDataset(*data, *lenient, *maxErrors, *faultRead, *faultSeed)
 

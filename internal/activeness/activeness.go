@@ -203,8 +203,6 @@ func TypeRank(acts []Activity, tc timeutil.Time, d timeutil.Duration) float64 {
 	if len(acts) == 0 {
 		return 1.0
 	}
-	first, last := acts[0].TS, acts[len(acts)-1].TS
-	m := timeutil.PeriodCount(first, last, d) // Eq. (1)
 	var total float64
 	for i := range acts {
 		if acts[i].Impact < 0 {
@@ -212,13 +210,41 @@ func TypeRank(acts []Activity, tc timeutil.Time, d timeutil.Duration) float64 {
 		}
 		total += acts[i].Impact
 	}
+	phi, _ := typeRankCore(acts, len(acts), total, tc, d, nil)
+	return phi
+}
+
+// typeRankCore is the Φ_λ computation shared by TypeRank and the
+// memoized cursor path: acts[:k] is the pre-cut history (k ≥ 1),
+// total its impact sum (accumulated first-to-last, so both callers
+// produce bit-identical floats), dp an optional scratch buffer. It
+// returns the rank and the (possibly grown) buffer.
+func typeRankCore(acts []Activity, k int, total float64, tc timeutil.Time, d timeutil.Duration, dp []float64) (float64, []float64) {
+	first, last := acts[0].TS, acts[k-1].TS
+	m := timeutil.PeriodCount(first, last, d) // Eq. (1)
 	if total <= 0 {
-		return 0
+		return 0, dp
 	}
 	avg := total / float64(m) // Eq. (2)
 	// Bucket impacts into the m-period window ending at tc (Eq. 4).
-	dp := make([]float64, m+1) // 1-based
-	for i := range acts {
+	if cap(dp) < m+1 {
+		dp = make([]float64, m+1) // 1-based
+	} else {
+		dp = dp[:m+1]
+		for i := range dp {
+			dp[i] = 0
+		}
+	}
+	// Only the window [tc − m·d, tc] contributes (older activities get
+	// PeriodIndex < 1), so skip straight to its start instead of
+	// scanning the whole history.
+	lo := 0
+	if int64(m) <= math.MaxInt64/int64(d) {
+		if ws := int64(tc) - int64(m)*int64(d); ws <= int64(tc) {
+			lo = sort.Search(k, func(i int) bool { return int64(acts[i].TS) >= ws })
+		}
+	}
+	for i := lo; i < k; i++ {
 		e := timeutil.PeriodIndex(tc, acts[i].TS, m, d)
 		if e >= 1 && e <= m {
 			dp[e] += acts[i].Impact
@@ -229,15 +255,15 @@ func TypeRank(acts []Activity, tc timeutil.Time, d timeutil.Duration) float64 {
 	logSum := 0.0
 	for e := 1; e <= m; e++ {
 		if dp[e] == 0 {
-			return 0
+			return 0, dp
 		}
 		logSum += float64(e) * math.Log(dp[e]/avg)
 	}
 	phi := math.Exp(logSum)
 	if math.IsInf(phi, 1) {
-		return math.MaxFloat64
+		return math.MaxFloat64, dp
 	}
-	return phi
+	return phi, dp
 }
 
 // CombineTypeRanks multiplies per-type ranks within a class (Eq. 6),
@@ -262,6 +288,11 @@ type Evaluator struct {
 	types  []TypeSpec
 	// data[t][u] is the activity history of user u for type t.
 	data []map[trace.UserID][]Activity
+	// prefix[t][u][i] is the impact sum of the first i activities of
+	// (t, u), accumulated in history order. Maintained alongside the
+	// sort so cursor-based evaluation reads any cut's total in O(1)
+	// with the exact float value the sequential sum would produce.
+	prefix []map[trace.UserID][]float64
 
 	mu     sync.Mutex // guards sorted / the one-time history sort
 	sorted bool
@@ -341,13 +372,20 @@ func (e *Evaluator) RecordPublications(t TypeID, pubs []trace.Publication) {
 func (e *Evaluator) ensureSorted() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.sorted {
+	if e.sorted && len(e.prefix) == len(e.data) {
 		return
 	}
-	for _, byUser := range e.data {
+	e.prefix = make([]map[trace.UserID][]float64, len(e.data))
+	for t, byUser := range e.data {
+		e.prefix[t] = make(map[trace.UserID][]float64, len(byUser))
 		for u, acts := range byUser {
 			sort.SliceStable(acts, func(i, j int) bool { return acts[i].TS < acts[j].TS })
 			byUser[u] = acts
+			ps := make([]float64, len(acts)+1)
+			for i := range acts {
+				ps[i+1] = ps[i] + acts[i].Impact
+			}
+			e.prefix[t][u] = ps
 		}
 	}
 	e.sorted = true
@@ -389,6 +427,88 @@ func (e *Evaluator) EvaluateAll(numUsers int, tc timeutil.Time) []Rank {
 	ranks := make([]Rank, numUsers)
 	for u := 0; u < numUsers; u++ {
 		ranks[u] = e.EvaluateUser(trace.UserID(u), tc)
+	}
+	return ranks
+}
+
+// Cursors memoizes per-user history cut positions across evaluation
+// times: the replay evaluates every user at each purge trigger with
+// tc advancing monotonically, so instead of re-searching each sorted
+// history from scratch every 7 simulated days, the cursor resumes
+// from the previous trigger's position and walks forward over the new
+// activities only. Ranks are bit-identical to Evaluator.EvaluateUser
+// (TestCursorsMatchEvaluate). A Cursors belongs to one goroutine; the
+// shared Evaluator underneath stays read-only after the first sort.
+type Cursors struct {
+	e      *Evaluator
+	lastTC timeutil.Time
+	valid  bool
+	// cuts[t][u] is the count of (t, u)-activities with TS ≤ lastTC.
+	cuts []map[trace.UserID]int
+	dp   []float64 // scratch period-bucket buffer reused across users
+}
+
+// NewCursors returns a fresh cursor set over the evaluator's data.
+func (e *Evaluator) NewCursors() *Cursors {
+	c := &Cursors{e: e, cuts: make([]map[trace.UserID]int, len(e.data))}
+	for t := range c.cuts {
+		c.cuts[t] = make(map[trace.UserID]int)
+	}
+	return c
+}
+
+// EvaluateUser computes the user's rank at tc, advancing the user's
+// cursors. Evaluation times should be non-decreasing; a backward jump
+// is handled by restarting the cursors (correct, just not memoized).
+func (c *Cursors) EvaluateUser(u trace.UserID, tc timeutil.Time) Rank {
+	e := c.e
+	e.ensureSorted()
+	if c.valid && tc < c.lastTC {
+		for t := range c.cuts {
+			c.cuts[t] = make(map[trace.UserID]int, len(c.cuts[t]))
+		}
+	}
+	c.lastTC, c.valid = tc, true
+	for len(c.cuts) < len(e.data) {
+		c.cuts = append(c.cuts, make(map[trace.UserID]int))
+	}
+	r := Rank{Op: 1, Oc: 1}
+	for t := range e.types {
+		acts := e.data[t][u]
+		k := c.cuts[t][u]
+		for k < len(acts) && acts[k].TS <= tc {
+			k++
+		}
+		c.cuts[t][u] = k
+		if k == 0 {
+			continue
+		}
+		phi, dp := typeRankCore(acts, k, e.prefix[t][u][k], tc, e.period, c.dp)
+		c.dp = dp
+		switch e.types[t].Class {
+		case Operation:
+			r.HasOp = true
+			r.Op *= phi
+		case Outcome:
+			r.HasOc = true
+			r.Oc *= phi
+		}
+	}
+	if math.IsInf(r.Op, 1) {
+		r.Op = math.MaxFloat64
+	}
+	if math.IsInf(r.Oc, 1) {
+		r.Oc = math.MaxFloat64
+	}
+	return r
+}
+
+// EvaluateAll ranks every user in the population at time tc, indexed
+// by UserID.
+func (c *Cursors) EvaluateAll(numUsers int, tc timeutil.Time) []Rank {
+	ranks := make([]Rank, numUsers)
+	for u := 0; u < numUsers; u++ {
+		ranks[u] = c.EvaluateUser(trace.UserID(u), tc)
 	}
 	return ranks
 }

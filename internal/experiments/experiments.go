@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sync"
 	"time"
 
 	"activedr/internal/activeness"
@@ -29,10 +30,13 @@ import (
 // captured on Aug 23rd of 2016 — the state Figures 9–11 examine.
 var CaptureDate = timeutil.Date(2016, time.August, 23)
 
-// Suite prepares and caches the emulation runs the figures share. It
-// is not safe for concurrent use.
+// Suite prepares and caches the emulation runs the figures share.
+// The caches are mutex-guarded so Precompute can replay the lifetime
+// sweep concurrently; each replay runs on its own emulator with
+// cloned state, so concurrent comparisons never share mutable state.
 type Suite struct {
 	ds          *trace.Dataset
+	mu          sync.Mutex
 	comparisons map[timeutil.Duration]*sim.Comparison
 	emulators   map[timeutil.Duration]*sim.Emulator
 }
@@ -60,8 +64,15 @@ func NewSyntheticSuite(users int, seed uint64) (*Suite, error) {
 func (s *Suite) Dataset() *trace.Dataset { return s.ds }
 
 // emulator builds (and caches) an emulator for one lifetime setting.
+// Construction happens outside the lock (it only reads the shared
+// dataset), so concurrent callers for distinct lifetimes don't
+// serialize on each other; racing callers for the same lifetime both
+// build, and the first store wins.
 func (s *Suite) emulator(d timeutil.Duration) (*sim.Emulator, error) {
-	if em, ok := s.emulators[d]; ok {
+	s.mu.Lock()
+	em, ok := s.emulators[d]
+	s.mu.Unlock()
+	if ok {
 		return em, nil
 	}
 	em, err := sim.New(s.ds, sim.Config{
@@ -72,25 +83,63 @@ func (s *Suite) emulator(d timeutil.Duration) (*sim.Emulator, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prior, ok := s.emulators[d]; ok {
+		return prior, nil
+	}
 	s.emulators[d] = em
 	return em, nil
 }
 
 // comparison runs (and caches) the FLT/ActiveDR pair at one lifetime.
+// The replay itself runs unlocked: runs clone the emulator's base
+// state, so comparisons at different lifetimes proceed concurrently.
 func (s *Suite) comparison(d timeutil.Duration) (*sim.Comparison, error) {
-	if c, ok := s.comparisons[d]; ok {
+	s.mu.Lock()
+	c, ok := s.comparisons[d]
+	s.mu.Unlock()
+	if ok {
 		return c, nil
 	}
 	em, err := s.emulator(d)
 	if err != nil {
 		return nil, err
 	}
-	c, err := em.RunComparison()
+	c, err = em.RunComparison()
 	if err != nil {
 		return nil, err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prior, ok := s.comparisons[d]; ok {
+		return prior, nil
+	}
 	s.comparisons[d] = c
 	return c, nil
+}
+
+// Precompute replays the FLT/ActiveDR comparison for every lifetime
+// concurrently on the pool, one independent task per lifetime. Each
+// task runs on its own emulator and cloned file system — replays are
+// deterministic, so the figures read identical results whether they
+// were precomputed in parallel or computed lazily one by one.
+// Checkpointed and fault-injected runs are not driven through here;
+// those stay serial within their run.
+func (s *Suite) Precompute(pool *parallel.Pool, lifetimes []timeutil.Duration) error {
+	seen := make(map[timeutil.Duration]bool, len(lifetimes))
+	tasks := make([]func() error, 0, len(lifetimes))
+	for _, d := range lifetimes {
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		tasks = append(tasks, func() error {
+			_, err := s.comparison(d)
+			return err
+		})
+	}
+	return pool.Run(tasks)
 }
 
 // groupNames returns the paper's group labels in scan order.
@@ -422,7 +471,10 @@ func (s *Suite) RetentionSweep() (*RetentionSweepResult, error) {
 		if cell.FLT == nil || cell.ActiveDR == nil {
 			return nil, fmt.Errorf("experiments: no purge report at %v for %v", CaptureDate, d)
 		}
-		em := s.emulators[d]
+		em, err := s.emulator(d)
+		if err != nil {
+			return nil, err
+		}
 		ranks := em.Evaluator().EvaluateAll(len(s.ds.Users), CaptureDate)
 		cell.AffectedFLT = distinctAffected(cmp.FLT.Reports, ranks, CaptureDate)
 		cell.AffectedADR = distinctAffected(cmp.ActiveDR.Reports, ranks, CaptureDate)
@@ -647,7 +699,13 @@ func (r *Figure12Result) Render(w io.Writer) {
 }
 
 // RunAll renders every table and figure to w (cmd/report's default).
+// The replay comparisons behind the figures are precomputed on a
+// ranks-wide pool first; the figures then render from the cache in
+// order.
 func (s *Suite) RunAll(w io.Writer, ranks int) error {
+	if err := s.Precompute(parallel.NewPool(ranks), config.PeriodLengths); err != nil {
+		return err
+	}
 	s.Table1().Render(w)
 	f1, err := s.Figure1()
 	if err != nil {

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"activedr/internal/parallel"
+	"activedr/internal/sim"
+	"activedr/internal/timeutil"
+)
+
+// normalizeComparison zeroes the wall-clock fields so deterministic
+// replay state can be compared across scheduling orders.
+func normalizeComparison(c *sim.Comparison) {
+	for _, res := range []*sim.Result{c.FLT, c.ActiveDR} {
+		res.Elapsed = 0
+		for _, r := range res.Reports {
+			r.Elapsed = 0
+		}
+	}
+}
+
+// TestPrecomputeMatchesSerial is the parallel-replay contract: running
+// the lifetime sweep concurrently on the pool must yield comparisons
+// bit-identical to computing them one at a time, since each task
+// replays on its own emulator and cloned file system.
+func TestPrecomputeMatchesSerial(t *testing.T) {
+	lifetimes := []timeutil.Duration{timeutil.Days(30), timeutil.Days(90), timeutil.Days(90)}
+
+	par, err := NewSyntheticSuite(300, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := par.Precompute(parallel.NewPool(4), lifetimes); err != nil {
+		t.Fatal(err)
+	}
+
+	ser := NewSuite(par.Dataset())
+	for _, d := range lifetimes {
+		pc, err := par.comparison(d) // cache hit from Precompute
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := ser.comparison(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		normalizeComparison(pc)
+		normalizeComparison(sc)
+		if !reflect.DeepEqual(pc, sc) {
+			t.Errorf("lifetime %v: parallel and serial comparisons diverge", d)
+		}
+	}
+}

@@ -126,30 +126,22 @@ func rankOf(ranks []activeness.Rank, u trace.UserID) activeness.Rank {
 	return activeness.NewUserRank()
 }
 
-// groupTotals seeds the per-group before-pass accounting.
-func groupTotals(fsys *vfs.FS, ranks []activeness.Rank, report *Report) map[trace.UserID][]string {
-	buckets := fsys.FilesByUser()
-	users := make(map[activeness.Group]map[trace.UserID]bool)
-	for u, paths := range buckets {
+// groupTotals seeds the per-group before-pass accounting from the
+// per-user counters the FS maintains — O(users), no namespace walk.
+func groupTotals(fsys *vfs.FS, ranks []activeness.Rank, report *Report, users []trace.UserID) {
+	for _, u := range users {
 		g := rankOf(ranks, u).Group()
-		if users[g] == nil {
-			users[g] = make(map[trace.UserID]bool)
-		}
-		users[g][u] = true
-		report.Groups[g].FilesBefore += int64(len(paths))
+		report.Groups[g].Users++
+		report.Groups[g].FilesBefore += fsys.UserFiles(u)
 		report.Groups[g].BytesBefore += fsys.UserBytes(u)
 	}
-	for g := range report.Groups {
-		report.Groups[g].Users = len(users[activeness.Group(g)])
-	}
-	return buckets
 }
 
 // FLT is the fixed-lifetime baseline: purge every non-reserved file
-// whose age exceeds Lifetime, scanning in system (lexicographic path)
-// order. Production FLT purges have no space target — staleness alone
-// decides — but StopAtTarget enables a target-stopped variant for
-// ablation.
+// whose age exceeds Lifetime, consuming candidates oldest-first in
+// the global (ATime, Path) selection order. Production FLT purges
+// have no space target — staleness alone decides — but StopAtTarget
+// enables a target-stopped variant for ablation.
 type FLT struct {
 	Lifetime     timeutil.Duration
 	Reserved     *vfs.ReservedSet
@@ -159,6 +151,17 @@ type FLT struct {
 	CollectVictims bool
 	// Faults, when set, injects deletion failures and scan interrupts.
 	Faults FaultInjector
+	// LegacySelection selects candidates with the pre-index full
+	// namespace walk instead of the incremental atime index. The two
+	// paths are equivalent (selection.go); the knob exists for that
+	// proof and for before/after benchmarking.
+	LegacySelection bool
+
+	// scratch holds the per-user candidate buffers feeding the k-way
+	// merge, reused across triggers so a replay's hundreds of passes
+	// stop reallocating them. Makes an FLT value single-goroutine,
+	// which Purge already was (setCollectVictims, fault state).
+	scratch [][]vfs.Candidate
 }
 
 // Name identifies the policy.
@@ -184,54 +187,62 @@ func (f *FLT) Purge(fsys *vfs.FS, ranks []activeness.Rank, tc timeutil.Time) *Re
 		}
 		report.TargetBytes = target
 	}
-	_ = groupTotals(fsys, ranks, report) // accounting only
+	src := selectionFor(fsys, f.LegacySelection)
+	users := src.users()
+	groupTotals(fsys, ranks, report, users)
 	budget := int64(-1)
 	if f.Faults != nil {
 		budget = f.Faults.BeginScan(tc, int64(fsys.Count()))
 	}
+	// Materialize each user's stale list (already sorted) into its
+	// reusable scratch slot and merge them lazily: only the consumed
+	// prefix is ordered globally. The merge reads the slots without
+	// mutating their headers, so the capacity survives to the next
+	// trigger.
+	cutoff := staleCutoff(tc, f.Lifetime)
+	if cap(f.scratch) < len(users) {
+		f.scratch = append(f.scratch[:cap(f.scratch)],
+			make([][]vfs.Candidate, len(users)-cap(f.scratch))...)
+	}
+	f.scratch = f.scratch[:len(users)]
+	for i, u := range users {
+		f.scratch[i] = src.staleFiles(f.scratch[i][:0], u, cutoff)
+	}
+	merge := newCandidateMerge(f.scratch)
 	affected := make(map[trace.UserID]bool)
 	var examined int64
-	var stale []string
-	fsys.Walk(func(path string, m vfs.FileMeta) bool {
+	for merge.len() > 0 {
 		if budget >= 0 && examined >= budget {
 			report.Incomplete = true
-			return false
+			break
 		}
 		examined++
 		if f.StopAtTarget && target > 0 && report.PurgedBytes >= target {
-			return false
+			break
 		}
-		if tc.Sub(m.ATime) <= f.Lifetime {
-			return true
-		}
-		if f.Reserved.Covers(path) {
+		c := merge.pop()
+		if f.Reserved.Covers(c.Path) {
 			report.SkippedExempt++
-			return true
+			continue
 		}
-		if f.Faults != nil && f.Faults.UnlinkFails(path) {
+		if f.Faults != nil && f.Faults.UnlinkFails(c.Path) {
 			report.FailedPurges++
-			report.FailedBytes += m.Size
-			return true
+			report.FailedBytes += c.Meta.Size
+			continue
 		}
-		stale = append(stale, path)
-		g := rankOf(ranks, m.User).Group()
+		fsys.Remove(c.Path)
+		if f.CollectVictims {
+			report.Victims = append(report.Victims, c.Path)
+		}
+		g := rankOf(ranks, c.Meta.User).Group()
 		report.PurgedFiles++
-		report.PurgedBytes += m.Size
+		report.PurgedBytes += c.Meta.Size
 		report.Groups[g].PurgedFiles++
-		report.Groups[g].PurgedBytes += m.Size
-		if !affected[m.User] {
-			affected[m.User] = true
+		report.Groups[g].PurgedBytes += c.Meta.Size
+		if !affected[c.Meta.User] {
+			affected[c.Meta.User] = true
 			report.Groups[g].AffectedUsers++
 		}
-		return true
-	})
-	// Removal happens after the walk: mutating the prefix tree during
-	// traversal would invalidate it.
-	for _, p := range stale {
-		fsys.Remove(p)
-	}
-	if f.CollectVictims {
-		report.Victims = stale
 	}
 	report.AffectedIDs = sortedIDs(affected)
 	report.TargetReached = !f.StopAtTarget || target == 0 || report.PurgedBytes >= target
@@ -298,6 +309,11 @@ type Config struct {
 	CollectVictims bool
 	// Faults, when set, injects deletion failures and scan interrupts.
 	Faults FaultInjector
+	// LegacySelection selects candidates with the pre-index full
+	// namespace walk instead of the incremental atime index. The two
+	// paths are equivalent (selection.go); the knob exists for that
+	// proof and for before/after benchmarking.
+	LegacySelection bool
 }
 
 // Defaults fills unset knobs with the paper's values.
@@ -365,9 +381,13 @@ type scanUser struct {
 
 // orderUsers buckets users into scan phases. Each phase is processed
 // to exhaustion (including retrospective passes) before the next.
-func (a *ActiveDR) orderUsers(buckets map[trace.UserID][]string, ranks []activeness.Rank) [][]scanUser {
+// Both comparators fall through to UserID so users with equal ranks
+// (common for the inactive groups, where both ranks are zero) scan in
+// one deterministic order regardless of how the user list was built —
+// serial and parallel replays must agree bit for bit.
+func (a *ActiveDR) orderUsers(users []trace.UserID, ranks []activeness.Rank) [][]scanUser {
 	byGroup := make([][]scanUser, activeness.NumGroups)
-	for u := range buckets {
+	for _, u := range users {
 		r := rankOf(ranks, u)
 		g := r.Group()
 		byGroup[g] = append(byGroup[g], scanUser{id: u, rank: r})
@@ -380,7 +400,7 @@ func (a *ActiveDR) orderUsers(buckets map[trace.UserID][]string, ranks []activen
 			if us[i].rank.Oc != us[j].rank.Oc {
 				return us[i].rank.Oc < us[j].rank.Oc
 			}
-			return us[i].id < us[j].id
+			return us[i].id < us[j].id // stable tiebreak: never rely on input order
 		})
 	}
 	ascOcOp := func(us []scanUser) {
@@ -391,7 +411,7 @@ func (a *ActiveDR) orderUsers(buckets map[trace.UserID][]string, ranks []activen
 			if us[i].rank.Op != us[j].rank.Op {
 				return us[i].rank.Op < us[j].rank.Op
 			}
-			return us[i].id < us[j].id
+			return us[i].id < us[j].id // stable tiebreak: never rely on input order
 		})
 	}
 	switch a.cfg.Order {
@@ -459,7 +479,9 @@ func (a *ActiveDR) Purge(fsys *vfs.FS, ranks []activeness.Rank, tc timeutil.Time
 		}
 		report.TargetBytes = target
 	}
-	buckets := groupTotals(fsys, ranks, report)
+	src := selectionFor(fsys, a.cfg.LegacySelection)
+	users := src.users()
+	groupTotals(fsys, ranks, report, users)
 	if a.cfg.TargetUtilization > 0 && target == 0 {
 		// Usage is already at or below the target: nothing to purge.
 		report.TargetReached = true
@@ -473,8 +495,9 @@ func (a *ActiveDR) Purge(fsys *vfs.FS, ranks []activeness.Rank, tc timeutil.Time
 		budget = a.cfg.Faults.BeginScan(tc, int64(fsys.Count()))
 	}
 	var examined int64
+	var cands []vfs.Candidate // reused across per-user queries
 
-	phases := a.orderUsers(buckets, ranks)
+	phases := a.orderUsers(users, ranks)
 phaseLoop:
 	for _, phase := range phases {
 		for pass := 0; pass <= a.cfg.RetroPasses; pass++ {
@@ -482,40 +505,37 @@ phaseLoop:
 				report.RetroPasses++
 			}
 			for _, su := range phase {
+				// The pass-adjusted lifetime becomes an atime cutoff, so
+				// each retro pass queries only the files it can purge
+				// instead of re-walking the user's whole holding.
 				eps := a.lifetime(su.rank, pass)
 				g := su.rank.Group()
-				for _, path := range buckets[su.id] {
+				cands = src.staleFiles(cands[:0], su.id, staleCutoff(tc, eps))
+				for _, c := range cands {
 					if budget >= 0 && examined >= budget {
 						report.Incomplete = true
 						break phaseLoop
 					}
 					examined++
-					m, ok := fsys.Lookup(path)
-					if !ok {
-						continue // purged on an earlier pass
-					}
-					if tc.Sub(m.ATime) <= eps {
-						continue
-					}
-					if a.cfg.Reserved.Covers(path) {
+					if a.cfg.Reserved.Covers(c.Path) {
 						if pass == 0 {
 							report.SkippedExempt++
 						}
 						continue
 					}
-					if a.cfg.Faults != nil && a.cfg.Faults.UnlinkFails(path) {
+					if a.cfg.Faults != nil && a.cfg.Faults.UnlinkFails(c.Path) {
 						report.FailedPurges++
-						report.FailedBytes += m.Size
+						report.FailedBytes += c.Meta.Size
 						continue
 					}
-					fsys.Remove(path)
+					fsys.Remove(c.Path)
 					if a.cfg.CollectVictims {
-						report.Victims = append(report.Victims, path)
+						report.Victims = append(report.Victims, c.Path)
 					}
 					report.PurgedFiles++
-					report.PurgedBytes += m.Size
+					report.PurgedBytes += c.Meta.Size
 					report.Groups[g].PurgedFiles++
-					report.Groups[g].PurgedBytes += m.Size
+					report.Groups[g].PurgedBytes += c.Meta.Size
 					if !affected[su.id] {
 						affected[su.id] = true
 						report.Groups[g].AffectedUsers++

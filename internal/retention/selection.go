@@ -1,0 +1,155 @@
+package retention
+
+import (
+	"math"
+	"sort"
+
+	"activedr/internal/timeutil"
+	"activedr/internal/trace"
+	"activedr/internal/vfs"
+)
+
+// candidateSource enumerates purge candidates for a pass. Both
+// implementations honor the same selection contract — staleFiles
+// yields the live files of u with ATime < cutoff, deduplicated, in
+// (ATime, Path) ascending order — so a policy produces bit-identical
+// reports, victims and fault-injection draws whichever source backs
+// it (DESIGN.md §8; proven by TestIndexedSelectionEquivalence).
+type candidateSource interface {
+	// users returns every user owning at least one file, ascending.
+	users() []trace.UserID
+	// staleFiles appends u's candidates older than cutoff to dst.
+	staleFiles(dst []vfs.Candidate, u trace.UserID, cutoff timeutil.Time) []vfs.Candidate
+}
+
+// indexedSource answers queries from the FS's incremental per-user
+// atime index: O(stale + tombstones) per query, no namespace walk.
+type indexedSource struct{ fs *vfs.FS }
+
+func (s indexedSource) users() []trace.UserID { return s.fs.Users() }
+
+func (s indexedSource) staleFiles(dst []vfs.Candidate, u trace.UserID, cutoff timeutil.Time) []vfs.Candidate {
+	return s.fs.AppendStaleFiles(dst, u, cutoff)
+}
+
+// legacySource implements the same contract with the pre-index
+// mechanics: one full namespace walk builds per-user path lists at
+// pass start, and every query re-filters them through Lookup and
+// sorts. Kept as the equivalence baseline and the benchmark contrast
+// for the incremental index.
+type legacySource struct {
+	fs      *vfs.FS
+	buckets map[trace.UserID][]string
+}
+
+func newLegacySource(fs *vfs.FS) *legacySource {
+	return &legacySource{fs: fs, buckets: fs.FilesByUser()}
+}
+
+func (s *legacySource) users() []trace.UserID {
+	out := make([]trace.UserID, 0, len(s.buckets))
+	for u := range s.buckets {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (s *legacySource) staleFiles(dst []vfs.Candidate, u trace.UserID, cutoff timeutil.Time) []vfs.Candidate {
+	start := len(dst)
+	for _, p := range s.buckets[u] {
+		m, ok := s.fs.Lookup(p)
+		if !ok || m.User != u || m.ATime >= cutoff {
+			continue
+		}
+		dst = append(dst, vfs.Candidate{Path: p, Meta: m})
+	}
+	part := dst[start:]
+	sort.Slice(part, func(i, j int) bool { return candLess(part[i], part[j]) })
+	return dst
+}
+
+// selectionFor picks the candidate source for a pass.
+func selectionFor(fs *vfs.FS, legacy bool) candidateSource {
+	if legacy {
+		return newLegacySource(fs)
+	}
+	return indexedSource{fs}
+}
+
+// staleCutoff converts the policy condition "age > life at tc" into
+// the equivalent index bound "ATime < cutoff", saturating instead of
+// wrapping when the lifetime exceeds the representable span.
+func staleCutoff(tc timeutil.Time, life timeutil.Duration) timeutil.Time {
+	c := int64(tc) - int64(life)
+	if int64(life) > 0 && c > int64(tc) {
+		return timeutil.Time(math.MinInt64) // nothing can be stale
+	}
+	if int64(life) < 0 && c < int64(tc) {
+		return timeutil.Time(math.MaxInt64) // everything is stale
+	}
+	return timeutil.Time(c)
+}
+
+// candLess is the global candidate order: oldest first, path as the
+// deterministic tiebreak.
+func candLess(a, b vfs.Candidate) bool {
+	if a.Meta.ATime != b.Meta.ATime {
+		return a.Meta.ATime < b.Meta.ATime
+	}
+	return a.Path < b.Path
+}
+
+// candidateMerge lazily merges per-user candidate lists (each already
+// in (ATime, Path) order) into one global (ATime, Path) stream: a
+// min-heap over list heads, so a target- or budget-stopped pass only
+// pays to order the prefix it actually consumes.
+type candidateMerge struct {
+	lists [][]vfs.Candidate // non-empty cursors, heap-ordered by head
+}
+
+func newCandidateMerge(lists [][]vfs.Candidate) *candidateMerge {
+	m := &candidateMerge{lists: make([][]vfs.Candidate, 0, len(lists))}
+	for _, l := range lists {
+		if len(l) > 0 {
+			m.lists = append(m.lists, l)
+		}
+	}
+	for i := len(m.lists)/2 - 1; i >= 0; i-- {
+		m.siftDown(i)
+	}
+	return m
+}
+
+func (m *candidateMerge) len() int { return len(m.lists) }
+
+// pop removes and returns the globally smallest remaining candidate.
+func (m *candidateMerge) pop() vfs.Candidate {
+	c := m.lists[0][0]
+	if rest := m.lists[0][1:]; len(rest) > 0 {
+		m.lists[0] = rest
+	} else {
+		last := len(m.lists) - 1
+		m.lists[0] = m.lists[last]
+		m.lists = m.lists[:last]
+	}
+	m.siftDown(0)
+	return c
+}
+
+func (m *candidateMerge) siftDown(i int) {
+	for {
+		small := i
+		if l := 2*i + 1; l < len(m.lists) && candLess(m.lists[l][0], m.lists[small][0]) {
+			small = l
+		}
+		if r := 2*i + 2; r < len(m.lists) && candLess(m.lists[r][0], m.lists[small][0]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		m.lists[i], m.lists[small] = m.lists[small], m.lists[i]
+		i = small
+	}
+}

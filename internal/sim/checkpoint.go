@@ -74,18 +74,21 @@ type checkpointState struct {
 	Faults        *faults.State               `json:"faults,omitempty"`
 }
 
-const checkpointVersion = 1
+// checkpointVersion 2 added the selection-path knob to the digest
+// (the indexed and legacy paths are equivalent, but a mismatch should
+// still be explicit rather than silent).
+const checkpointVersion = 2
 
 // digest fingerprints the knobs that shape the replay so a resume
 // against a different configuration is rejected instead of silently
 // diverging. Reserved is excluded (not serializable); supplying the
 // same exemption list on resume is the caller's contract.
 func (c Config) digest() string {
-	return fmt.Sprintf("v%d life=%d period=%d trig=%d util=%g cap=%d retro=%d decay=%g capture=%d snap=%d logins=%t transfers=%t eq7=%t order=%d",
+	return fmt.Sprintf("v%d life=%d period=%d trig=%d util=%g cap=%d retro=%d decay=%g capture=%d snap=%d logins=%t transfers=%t eq7=%t order=%d sel=%t",
 		checkpointVersion, c.Lifetime, c.PeriodLength, c.TriggerInterval,
 		c.TargetUtilization, c.Capacity, c.RetroPasses, c.RetroDecay,
 		c.CaptureAt, c.SnapshotEvery, c.UseLogins, c.UseTransfers,
-		c.StrictEq7, c.Order)
+		c.StrictEq7, c.Order, c.LegacySelection)
 }
 
 // saveCheckpoint writes one complete checkpoint for the trigger that
@@ -306,11 +309,13 @@ func (e *Emulator) loadCheckpoint(policy retention.Policy, opts RunOptions) (*ru
 		captured:    cs.Captured,
 		lastSnap:    timeutil.Time(cs.LastSnap),
 		triggers:    cs.Triggers,
+		cursors:     e.eval.NewCursors(),
 	}
 	// The rank table is not serialized: it is a pure function of the
 	// (identically rebuilt) activeness evaluator and the evaluation
-	// time recorded in the checkpoint.
-	st.ranks = e.eval.EvaluateAll(e.users, st.ranksAt)
+	// time recorded in the checkpoint. The fresh cursors fast-forward
+	// to ranksAt here and advance with the resumed triggers.
+	st.ranks = st.cursors.EvaluateAll(e.users, st.ranksAt)
 	return st, nil
 }
 

@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"activedr/internal/faults"
+	"activedr/internal/synth"
+)
+
+// normalizeCheckpoint parses a checkpoint's state.json and blanks the
+// fields allowed to differ between selection paths: wall clock inside
+// the serialized reports, and the config digest (which deliberately
+// records which path wrote it).
+func normalizeCheckpoint(t *testing.T, dir string) checkpointState {
+	t.Helper()
+	name, err := readLatest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(filepath.Join(dir, name, stateFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cs checkpointState
+	if err := json.Unmarshal(blob, &cs); err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range cs.Reports {
+		rep.Elapsed = 0
+	}
+	cs.Config = ""
+	return cs
+}
+
+// readSidecar returns the raw bytes of the latest checkpoint's
+// file-system snapshot sidecar.
+func readSidecar(t *testing.T, dir string) []byte {
+	t.Helper()
+	name, err := readLatest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, name, fsFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestIndexedReplayEquivalence is the tentpole's end-to-end contract:
+// a full-year replay on the incremental candidate index produces
+// bit-identical Results (reports, day stats, totals, final state) and
+// checkpoints to the legacy full-walk path — for both policies, with
+// and without fault injection.
+func TestIndexedReplayEquivalence(t *testing.T) {
+	d, err := synth.Generate(synth.Config{Seed: 11, Users: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, faultsOn := range []bool{false, true} {
+		for _, name := range []string{"flt", "adr"} {
+			t.Run(fmt.Sprintf("%s/faults=%t", name, faultsOn), func(t *testing.T) {
+				run := func(legacy bool) (*Result, string) {
+					em, err := New(d, Config{TargetUtilization: 0.5, LegacySelection: legacy})
+					if err != nil {
+						t.Fatal(err)
+					}
+					opts := RunOptions{CheckpointDir: t.TempDir(), CheckpointEvery: 20}
+					if faultsOn {
+						opts.Faults = faults.New(faults.Config{
+							Seed: 42, UnlinkFailProb: 0.05, ScanInterruptProb: 0.05,
+						})
+					}
+					res, err := em.RunWith(policyFor(t, em, name), opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return res, opts.CheckpointDir
+				}
+				indexed, idxDir := run(false)
+				legacy, legDir := run(true)
+				requireSameResult(t, legacy, indexed)
+				if !reflect.DeepEqual(normalizeCheckpoint(t, idxDir), normalizeCheckpoint(t, legDir)) {
+					t.Error("checkpoint states diverge between selection paths")
+				}
+				if !bytes.Equal(readSidecar(t, idxDir), readSidecar(t, legDir)) {
+					t.Error("checkpointed file-system snapshots are not byte-identical")
+				}
+			})
+		}
+	}
+}

@@ -63,6 +63,12 @@ type Config struct {
 	// StrictEq7 and Order pass through to ActiveDR (ablations).
 	StrictEq7 bool
 	Order     retention.ScanOrder
+	// LegacySelection routes both policies through the legacy
+	// full-namespace-walk candidate selection instead of the
+	// incremental per-user atime index. The two paths are equivalent
+	// (see TestIndexedSelectionEquivalence); the knob exists for that
+	// proof and for before/after benchmarking.
+	LegacySelection bool
 }
 
 // Defaults fills unset knobs with the paper's values.
@@ -215,13 +221,18 @@ func (e *Emulator) NewActiveDR() (*retention.ActiveDR, error) {
 		Reserved:          e.cfg.Reserved,
 		StrictEq7:         e.cfg.StrictEq7,
 		Order:             e.cfg.Order,
+		LegacySelection:   e.cfg.LegacySelection,
 	})
 }
 
 // NewFLT builds the fixed-lifetime baseline matching this emulator's
 // configuration.
 func (e *Emulator) NewFLT() *retention.FLT {
-	return &retention.FLT{Lifetime: e.cfg.Lifetime, Reserved: e.cfg.Reserved}
+	return &retention.FLT{
+		Lifetime:        e.cfg.Lifetime,
+		Reserved:        e.cfg.Reserved,
+		LegacySelection: e.cfg.LegacySelection,
+	}
 }
 
 // RunOptions extends a replay with fault injection, checkpointing,
@@ -262,18 +273,24 @@ type runState struct {
 	captured    bool
 	lastSnap    timeutil.Time
 	triggers    int // purge triggers fired so far
+	// cursors memoizes each user's activity position across the run's
+	// monotone trigger times; it is per-run state (not shared), so
+	// parallel runs off one emulator stay independent.
+	cursors *activeness.Cursors
 }
 
 // freshState initializes the replay at the reference snapshot.
 func (e *Emulator) freshState(policy retention.Policy) *runState {
 	t0 := e.ds.Snapshot.Taken
+	cursors := e.eval.NewCursors()
 	return &runState{
 		fsys:        e.base.Clone(),
 		res:         &Result{Policy: policy.Name()},
 		nextTrigger: t0.Add(e.cfg.TriggerInterval),
-		ranks:       e.eval.EvaluateAll(e.users, t0),
+		ranks:       cursors.EvaluateAll(e.users, t0),
 		ranksAt:     t0,
 		captured:    e.cfg.CaptureAt == 0,
+		cursors:     cursors,
 	}
 }
 
@@ -315,7 +332,7 @@ func (e *Emulator) replay(policy retention.Policy, opts RunOptions, st *runState
 	}
 
 	trigger := func(at timeutil.Time) {
-		st.ranks = e.eval.EvaluateAll(e.users, at)
+		st.ranks = st.cursors.EvaluateAll(e.users, at)
 		st.ranksAt = at
 		if !st.captured && at >= e.cfg.CaptureAt {
 			res.Captured = st.fsys.Clone()

@@ -7,10 +7,7 @@
 // path index backing the purge-exemption feature.
 package vfs
 
-import (
-	"sort"
-	"strings"
-)
+import "strings"
 
 // radix is a byte-wise compressed prefix tree. Each node carries the
 // edge label that leads to it; terminal nodes own a value. Children
@@ -24,8 +21,13 @@ type radix[V any] struct {
 type rnode[V any] struct {
 	label    string
 	children []*rnode[V]
-	value    V
-	terminal bool
+	// childKeys mirrors children: childKeys[i] == children[i].label[0].
+	// Descents search this contiguous byte slice instead of chasing a
+	// child pointer per probe — the tree descent is the replay's
+	// hottest loop, and the pointer chase dominated its profile.
+	childKeys []byte
+	value     V
+	terminal  bool
 }
 
 func newRadix[V any]() *radix[V] {
@@ -46,21 +48,43 @@ func commonPrefixLen(a, b string) int {
 }
 
 // childIndex locates the child whose label starts with byte c,
-// returning (index, found) — insertion point when not found.
+// returning (index, found) — insertion point when not found. Small
+// fan-outs scan linearly (cheaper than a binary search's mispredicted
+// branches); large ones binary-search the key bytes. Hand-rolled
+// rather than sort.Search: the closure call costs more than the
+// search on this path.
 func (n *rnode[V]) childIndex(c byte) (int, bool) {
-	i := sort.Search(len(n.children), func(i int) bool {
-		return n.children[i].label[0] >= c
-	})
-	if i < len(n.children) && n.children[i].label[0] == c {
-		return i, true
+	keys := n.childKeys
+	if len(keys) <= 8 {
+		for i := 0; i < len(keys); i++ {
+			if keys[i] >= c {
+				return i, keys[i] == c
+			}
+		}
+		return len(keys), false
 	}
-	return i, false
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] < c {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(keys) && keys[lo] == c {
+		return lo, true
+	}
+	return lo, false
 }
 
 func (n *rnode[V]) insertChild(i int, child *rnode[V]) {
 	n.children = append(n.children, nil)
 	copy(n.children[i+1:], n.children[i:])
 	n.children[i] = child
+	n.childKeys = append(n.childKeys, 0)
+	copy(n.childKeys[i+1:], n.childKeys[i:])
+	n.childKeys[i] = child.label[0]
 }
 
 // put inserts or replaces key. It reports whether the key was new and
@@ -97,18 +121,22 @@ func (t *radix[V]) put(key string, v V) (prev V, existed bool) {
 			n, rest = child, rest[cp:]
 			continue
 		}
-		// Split the edge at cp.
+		// Split the edge at cp. The split node keeps the old first
+		// byte, so n.childKeys[i] stays valid.
 		split := &rnode[V]{label: child.label[:cp]}
 		child.label = child.label[cp:]
 		split.children = []*rnode[V]{child}
+		split.childKeys = []byte{child.label[0]}
 		if cp == len(rest) {
 			split.value, split.terminal = v, true
 		} else {
 			leaf := &rnode[V]{label: rest[cp:], value: v, terminal: true}
 			if leaf.label[0] < child.label[0] {
 				split.children = []*rnode[V]{leaf, child}
+				split.childKeys = []byte{leaf.label[0], child.label[0]}
 			} else {
 				split.children = []*rnode[V]{child, leaf}
+				split.childKeys = []byte{child.label[0], leaf.label[0]}
 			}
 		}
 		n.children[i] = split
@@ -164,7 +192,12 @@ func (t *radix[V]) delete(key string) (V, bool) {
 		parent *rnode[V]
 		index  int
 	}
-	var path []frame
+	// Backed by a fixed array so the descent records stay on the
+	// stack; purge sweeps delete tens of thousands of keys per
+	// trigger and a heap-grown slice here dominated the allocation
+	// profile. Tree depth beyond 64 spills to append and still works.
+	var pathBuf [64]frame
+	path := pathBuf[:0]
 	n := t.root
 	rest := key
 	for rest != "" {
@@ -200,9 +233,12 @@ func (t *radix[V]) delete(key string) (V, bool) {
 		}
 		if len(node.children) == 0 {
 			f.parent.children = append(f.parent.children[:f.index], f.parent.children[f.index+1:]...)
+			f.parent.childKeys = append(f.parent.childKeys[:f.index], f.parent.childKeys[f.index+1:]...)
 			continue
 		}
 		if len(node.children) == 1 {
+			// The merged child inherits node's label prefix, so the
+			// parent's key byte for this slot is unchanged.
 			child := node.children[0]
 			child.label = node.label + child.label
 			f.parent.children[f.index] = child
@@ -257,6 +293,49 @@ func walkNode[V any](n *rnode[V], acc []byte, fn func(key string, v V) bool) boo
 		acc = acc[:len(acc)-len(c.label)]
 	}
 	return true
+}
+
+// countNodes sizes the arena a clone carves its copies from.
+func countNodes[V any](n *rnode[V]) int {
+	c := 1
+	for _, ch := range n.children {
+		c += countNodes(ch)
+	}
+	return c
+}
+
+// clone deep-copies the tree structurally. Labels and values are
+// shared (strings are immutable, values copy by value), and all nodes
+// plus all child-pointer slices are carved from two bulk allocations
+// sized by a pre-count walk — a clone happens once per replay run,
+// and per-node allocations were a fifth of the replay's allocation
+// profile. Child slices are capped (three-index slicing) so a later
+// insertChild on the copy reallocates instead of stomping a sibling's
+// arena segment.
+func (t *radix[V]) clone() *radix[V] {
+	total := countNodes(t.root)
+	arena := make([]rnode[V], total)
+	ptrs := make([]*rnode[V], total-1) // every node but the root is someone's child
+	keys := make([]byte, total-1)
+	ni, pi := 0, 0
+	var cp func(src *rnode[V]) *rnode[V]
+	cp = func(src *rnode[V]) *rnode[V] {
+		dst := &arena[ni]
+		ni++
+		dst.label, dst.value, dst.terminal = src.label, src.value, src.terminal
+		if k := len(src.children); k > 0 {
+			ch := ptrs[pi : pi+k : pi+k]
+			kk := keys[pi : pi+k : pi+k]
+			pi += k
+			copy(kk, src.childKeys)
+			for i, c := range src.children {
+				ch[i] = cp(c)
+			}
+			dst.children, dst.childKeys = ch, kk
+		}
+		return dst
+	}
+	return &radix[V]{root: cp(t.root), count: t.count}
 }
 
 // coveredBy reports whether key equals a stored key or descends from

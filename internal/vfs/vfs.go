@@ -2,6 +2,8 @@ package vfs
 
 import (
 	"fmt"
+	"slices"
+	"sort"
 
 	"activedr/internal/timeutil"
 	"activedr/internal/trace"
@@ -15,23 +17,99 @@ type FileMeta struct {
 	ATime   timeutil.Time
 }
 
+// fileRecord is what a terminal tree node stores: the metadata plus
+// the file's canonical path string. Interning the path here means
+// walks, snapshots and candidate queries hand out the stored string
+// instead of rebuilding one byte slice per file per scan.
+type fileRecord struct {
+	meta FileMeta
+	path string
+}
+
+// Candidate is one purge candidate emitted by StaleFiles.
+type Candidate struct {
+	Path string
+	Meta FileMeta
+}
+
+// idxEntry is one (path, atime-at-index-time) pair in a day bucket.
+// An entry is live iff the file still exists, still belongs to the
+// bucket's user, and still has exactly this atime; anything else is a
+// tombstone dropped at the next compaction.
+type idxEntry struct {
+	path  string
+	atime timeutil.Time
+}
+
+// userIndex is one user's purge-candidate index: entries bucketed by
+// atime day, with the populated day keys kept sorted so a stale-file
+// query visits only buckets older than the cutoff. days and buckets
+// are parallel slices (buckets[i] holds the entries of days[i]):
+// replays append mostly to the newest day, and a sorted slice makes
+// that an index assignment where a map key write was the hot spot.
+type userIndex struct {
+	days    []int64      // sorted ascending
+	buckets [][]idxEntry // buckets[i] pairs with days[i]
+}
+
+// searchDays returns the insertion point of day in the sorted key
+// slice (hand-rolled: called per index update).
+func searchDays(days []int64, day int64) int {
+	lo, hi := 0, len(days)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if days[mid] < day {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// liveEntry pairs a validated index entry with its current metadata
+// during bucket compaction.
+type liveEntry struct {
+	e    idxEntry
+	meta FileMeta
+}
+
+const daySeconds = int64(24 * 60 * 60)
+
+// dayOf maps a timestamp to its bucket key (floor division, so the
+// mapping stays monotone for pre-epoch times too).
+func dayOf(t timeutil.Time) int64 {
+	s := int64(t)
+	d := s / daySeconds
+	if s%daySeconds != 0 && s < 0 {
+		d--
+	}
+	return d
+}
+
 // FS is the virtual file system: a compact prefix tree over absolute
-// paths with byte and count accounting, overall and per user. FS is
-// not safe for concurrent mutation; the parallel scan pool shards
-// work over read-only walks.
+// paths with byte and count accounting, overall and per user, plus an
+// incrementally maintained per-user atime index that answers purge
+// candidate queries without walking the namespace (DESIGN.md §8). FS
+// is not safe for concurrent mutation, and StaleFiles mutates
+// (it compacts index buckets); the parallel scan pool shards work
+// over read-only walks only.
 type FS struct {
-	tree      *radix[FileMeta]
+	tree      *radix[fileRecord]
 	bytes     int64
 	userBytes map[trace.UserID]int64
 	userFiles map[trace.UserID]int64
+	index     map[trace.UserID]*userIndex
+	scratch   []liveEntry // reused across StaleFiles bucket compactions
 }
 
 // New returns an empty FS.
 func New() *FS {
 	return &FS{
-		tree:      newRadix[FileMeta](),
+		tree:      newRadix[fileRecord](),
 		userBytes: make(map[trace.UserID]int64),
 		userFiles: make(map[trace.UserID]int64),
+		index:     make(map[trace.UserID]*userIndex),
 	}
 }
 
@@ -57,20 +135,34 @@ func (f *FS) Insert(path string, m FileMeta) error {
 	if m.Size < 0 {
 		return fmt.Errorf("vfs: negative size for %q", path)
 	}
-	prev, existed := f.tree.put(path, m)
+	prev, existed := f.tree.put(path, fileRecord{meta: m, path: path})
 	if existed {
-		f.bytes -= prev.Size
-		f.userBytes[prev.User] -= prev.Size
-		f.userFiles[prev.User]--
+		old := prev.meta
+		f.bytes -= old.Size
+		f.userBytes[old.User] -= old.Size
+		f.userFiles[old.User]--
+		if f.userFiles[old.User] == 0 {
+			delete(f.userFiles, old.User)
+			delete(f.userBytes, old.User)
+		}
 	}
 	f.bytes += m.Size
 	f.userBytes[m.User] += m.Size
 	f.userFiles[m.User]++
+	// The old index entry stays valid only if owner and atime are both
+	// unchanged; otherwise it becomes a tombstone and a fresh entry is
+	// indexed.
+	if !existed || prev.meta.User != m.User || prev.meta.ATime != m.ATime {
+		f.indexAdd(m.User, path, m.ATime)
+	}
 	return nil
 }
 
 // Lookup returns the metadata stored at path.
-func (f *FS) Lookup(path string) (FileMeta, bool) { return f.tree.get(path) }
+func (f *FS) Lookup(path string) (FileMeta, bool) {
+	r, ok := f.tree.get(path)
+	return r.meta, ok
+}
 
 // Contains reports whether path holds a file.
 func (f *FS) Contains(path string) bool {
@@ -85,16 +177,23 @@ func (f *FS) Touch(path string, at timeutil.Time) bool {
 	if n == nil || !n.terminal {
 		return false
 	}
-	n.value.ATime = at
+	if n.value.meta.ATime == at {
+		return true // no atime change: the index entry stays valid
+	}
+	n.value.meta.ATime = at
+	f.indexAdd(n.value.meta.User, n.value.path, at)
 	return true
 }
 
-// Remove purges the file at path, reporting its metadata.
+// Remove purges the file at path, reporting its metadata. Index
+// entries are invalidated lazily: the next StaleFiles compaction of
+// their bucket drops them.
 func (f *FS) Remove(path string) (FileMeta, bool) {
-	m, ok := f.tree.delete(path)
+	r, ok := f.tree.delete(path)
 	if !ok {
 		return FileMeta{}, false
 	}
+	m := r.meta
 	f.bytes -= m.Size
 	f.userBytes[m.User] -= m.Size
 	f.userFiles[m.User]--
@@ -103,6 +202,133 @@ func (f *FS) Remove(path string) (FileMeta, bool) {
 		delete(f.userBytes, m.User)
 	}
 	return m, true
+}
+
+// indexAdd appends an entry to the owner's day bucket, registering the
+// day key on first use. Buckets grow with a minimum capacity of 8:
+// entries spread over hundreds of (user, day) buckets, and letting
+// append crawl through caps 1→2→4 doubled the replay's allocation
+// count.
+func (f *FS) indexAdd(u trace.UserID, path string, at timeutil.Time) {
+	ui := f.index[u]
+	if ui == nil {
+		ui = &userIndex{}
+		f.index[u] = ui
+	}
+	day := dayOf(at)
+	i := len(ui.days) - 1
+	if i < 0 || ui.days[i] != day { // fast path: replays touch the newest day
+		i = searchDays(ui.days, day)
+		if i == len(ui.days) || ui.days[i] != day {
+			ui.days = append(ui.days, 0)
+			copy(ui.days[i+1:], ui.days[i:])
+			ui.days[i] = day
+			ui.buckets = append(ui.buckets, nil)
+			copy(ui.buckets[i+1:], ui.buckets[i:])
+			ui.buckets[i] = nil
+		}
+	}
+	b := ui.buckets[i]
+	if len(b) == cap(b) {
+		nb := make([]idxEntry, len(b), max(8, 2*cap(b)))
+		copy(nb, b)
+		b = nb
+	}
+	ui.buckets[i] = append(b, idxEntry{path: path, atime: at})
+}
+
+// Users returns every user owning at least one file, ascending. This
+// is the deterministic iteration order purge passes scan users in.
+func (f *FS) Users() []trace.UserID {
+	out := make([]trace.UserID, 0, len(f.userFiles))
+	for u := range f.userFiles {
+		out = append(out, u)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// StaleFiles returns the live files of user u with ATime < cutoff in
+// (ATime, Path) ascending order. This is the selection contract both
+// the indexed and the legacy purge paths honor; see DESIGN.md §8.
+func (f *FS) StaleFiles(u trace.UserID, cutoff timeutil.Time) []Candidate {
+	return f.AppendStaleFiles(nil, u, cutoff)
+}
+
+// AppendStaleFiles is StaleFiles appending into dst, so a purge pass
+// can reuse one buffer across users and triggers. As a side effect it
+// compacts every bucket it visits: tombstones (removed, chowned or
+// re-touched files) are dropped and the bucket is left sorted, so the
+// index footprint stays proportional to the live file count.
+func (f *FS) AppendStaleFiles(dst []Candidate, u trace.UserID, cutoff timeutil.Time) []Candidate {
+	ui := f.index[u]
+	if ui == nil {
+		return dst
+	}
+	for di := 0; di < len(ui.days); {
+		day := ui.days[di]
+		if day*daySeconds >= int64(cutoff) {
+			break // this bucket and all later ones start at or after cutoff
+		}
+		bucket := ui.buckets[di]
+		live := f.scratch[:0]
+		for _, e := range bucket {
+			if n := f.tree.findNode(e.path); n != nil && n.terminal &&
+				n.value.meta.User == u && n.value.meta.ATime == e.atime {
+				live = append(live, liveEntry{e: e, meta: n.value.meta})
+			}
+		}
+		if !liveSorted(live) {
+			sort.Slice(live, func(i, j int) bool {
+				if live[i].e.atime != live[j].e.atime {
+					return live[i].e.atime < live[j].e.atime
+				}
+				return live[i].e.path < live[j].e.path
+			})
+		}
+		// Drop duplicate entries (same path indexed twice at the same
+		// atime, e.g. remove + re-insert): equal pairs are adjacent now.
+		w := 0
+		for i := range live {
+			if i > 0 && live[i].e == live[i-1].e {
+				continue
+			}
+			live[w] = live[i]
+			w++
+		}
+		live = live[:w]
+		f.scratch = live // retain grown capacity
+		// Stale entries are a prefix: staleness depends only on atime.
+		split := sort.Search(len(live), func(i int) bool { return live[i].e.atime >= cutoff })
+		for i := 0; i < split; i++ {
+			dst = append(dst, Candidate{Path: live[i].e.path, Meta: live[i].meta})
+		}
+		if len(live) == 0 {
+			ui.days = append(ui.days[:di], ui.days[di+1:]...)
+			ui.buckets = append(ui.buckets[:di], ui.buckets[di+1:]...)
+			continue // di now names the next day
+		}
+		bucket = bucket[:0]
+		for i := range live {
+			bucket = append(bucket, live[i].e)
+		}
+		ui.buckets[di] = bucket
+		di++
+	}
+	return dst
+}
+
+// liveSorted reports whether live is already in (atime, path) order —
+// the common case for a bucket compacted once and appended to in
+// replay time order, letting the compaction skip the sort.
+func liveSorted(live []liveEntry) bool {
+	for i := 1; i < len(live); i++ {
+		if live[i].e.atime < live[i-1].e.atime ||
+			(live[i].e.atime == live[i-1].e.atime && live[i].e.path < live[i-1].e.path) {
+			return false
+		}
+	}
+	return true
 }
 
 // Count returns the number of files.
@@ -118,20 +344,57 @@ func (f *FS) UserBytes(u trace.UserID) int64 { return f.userBytes[u] }
 func (f *FS) UserFiles(u trace.UserID) int64 { return f.userFiles[u] }
 
 // Walk visits every file in lexicographic path order. fn returning
-// false stops the walk early.
+// false stops the walk early. Paths are the interned canonical
+// strings, so a walk allocates nothing.
 func (f *FS) Walk(fn func(path string, m FileMeta) bool) {
-	f.tree.walk("", fn)
+	walkRecords(f.tree.root, fn)
 }
 
 // WalkPrefix visits every file whose path starts with prefix, in
 // lexicographic order.
 func (f *FS) WalkPrefix(prefix string, fn func(path string, m FileMeta) bool) {
-	f.tree.walk(prefix, fn)
+	n := f.tree.root
+	rest := prefix
+	for rest != "" {
+		i, ok := n.childIndex(rest[0])
+		if !ok {
+			return
+		}
+		child := n.children[i]
+		cp := commonPrefixLen(rest, child.label)
+		if cp == len(rest) {
+			walkRecords(child, fn)
+			return
+		}
+		if cp < len(child.label) {
+			return // diverged: nothing under prefix
+		}
+		rest = rest[cp:]
+		n = child
+	}
+	walkRecords(n, fn)
+}
+
+// walkRecords visits terminal records in lexicographic order using
+// their interned paths.
+func walkRecords(n *rnode[fileRecord], fn func(path string, m FileMeta) bool) bool {
+	if n.terminal {
+		if !fn(n.value.path, n.value.meta) {
+			return false
+		}
+	}
+	for _, c := range n.children {
+		if !walkRecords(c, fn) {
+			return false
+		}
+	}
+	return true
 }
 
 // FilesByUser buckets every path by owning user in one walk. Each
-// bucket preserves lexicographic order. This is how a retention pass
-// obtains per-user scan lists without a per-user index.
+// bucket preserves lexicographic order. This is the legacy way a
+// retention pass obtains per-user scan lists; the indexed path asks
+// StaleFiles instead.
 func (f *FS) FilesByUser() map[trace.UserID][]string {
 	out := make(map[trace.UserID][]string)
 	f.Walk(func(path string, m FileMeta) bool {
@@ -156,17 +419,45 @@ func (f *FS) Snapshot(taken timeutil.Time) *trace.Snapshot {
 }
 
 // Clone deep-copies the FS so FLT and ActiveDR can replay the same
-// initial state independently.
+// initial state independently. The tree is copied structurally (one
+// allocation per node, labels and paths shared) and the candidate
+// index is copied bucket by bucket.
 func (f *FS) Clone() *FS {
-	c := New()
-	f.Walk(func(path string, m FileMeta) bool {
-		// Paths from Walk are fresh strings; reuse directly.
-		c.tree.put(path, m)
-		c.bytes += m.Size
-		c.userBytes[m.User] += m.Size
-		c.userFiles[m.User]++
-		return true
-	})
+	c := &FS{
+		tree:      f.tree.clone(),
+		bytes:     f.bytes,
+		userBytes: make(map[trace.UserID]int64, len(f.userBytes)),
+		userFiles: make(map[trace.UserID]int64, len(f.userFiles)),
+		index:     make(map[trace.UserID]*userIndex, len(f.index)),
+	}
+	for u, b := range f.userBytes {
+		c.userBytes[u] = b
+	}
+	for u, n := range f.userFiles {
+		c.userFiles[u] = n
+	}
+	for u, ui := range f.index {
+		cu := &userIndex{
+			days:    append([]int64(nil), ui.days...),
+			buckets: make([][]idxEntry, len(ui.buckets)),
+		}
+		// All of a user's buckets share one backing array, capped per
+		// bucket so a later append reallocates instead of overwriting
+		// the neighbor: one allocation per user, not one per day.
+		total := 0
+		for _, b := range ui.buckets {
+			total += len(b)
+		}
+		backing := make([]idxEntry, total)
+		off := 0
+		for i, b := range ui.buckets {
+			seg := backing[off : off+len(b) : off+len(b)]
+			copy(seg, b)
+			cu.buckets[i] = seg
+			off += len(b)
+		}
+		c.index[u] = cu
+	}
 	return c
 }
 
@@ -181,8 +472,8 @@ type Stats struct {
 // Stats walks the tree structure and reports its footprint.
 func (f *FS) Stats() Stats {
 	st := Stats{Files: f.Count()}
-	var walk func(n *rnode[FileMeta])
-	walk = func(n *rnode[FileMeta]) {
+	var walk func(n *rnode[fileRecord])
+	walk = func(n *rnode[fileRecord]) {
 		st.Nodes++
 		st.LabelBytes += int64(len(n.label))
 		for _, c := range n.children {
