@@ -67,8 +67,18 @@ func main() {
 		label     = flag.String("label", "", "free-form tag recorded with the run (e.g. before, after, smoke)")
 		out       = flag.String("o", "", "output file (empty = BENCH_<date>.json in the working directory)")
 		input     = flag.String("input", "", "record results from an existing go test -bench output file instead of running the suite")
+		date      = flag.String("date", "", "run timestamp, RFC3339 or YYYY-MM-DD (default: current time); stamps the record and the default output name")
 	)
 	flag.Parse()
+
+	// The wall clock is read here, at the CLI edge, and only when no
+	// -date was given: everything below is a pure function of its
+	// inputs, which keeps the tool honest under the nondeterminism
+	// lint rule and lets tests pin the trajectory file name.
+	now, err := resolveDate(*date)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	if *input != "" {
 		f, err := os.Open(*input)
@@ -81,7 +91,7 @@ func main() {
 			log.Fatal(err)
 		}
 		record(*out, Run{Label: *label, Go: runtime.Version(),
-			Args: []string{"-input", *input}, Benchmarks: benches})
+			Args: []string{"-input", *input}, Benchmarks: benches}, now)
 		return
 	}
 
@@ -113,15 +123,29 @@ func main() {
 	if len(benches) == 0 {
 		log.Fatalf("no benchmarks matched %q", *bench)
 	}
-	record(*out, Run{Label: *label, Go: runtime.Version(), Args: args, Benchmarks: benches})
+	record(*out, Run{Label: *label, Go: runtime.Version(), Args: args, Benchmarks: benches}, now)
 }
 
-// record appends one timestamped run to the trajectory file.
-func record(path string, run Run) {
+// resolveDate parses the -date flag, defaulting to the current time.
+func resolveDate(s string) (time.Time, error) {
+	if s == "" {
+		return time.Now(), nil
+	}
+	if t, err := time.Parse(time.RFC3339, s); err == nil {
+		return t, nil
+	}
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("-date %q: want RFC3339 or YYYY-MM-DD", s)
+	}
+	return t, nil
+}
+
+// record appends one run to the trajectory file, stamped with now.
+func record(path string, run Run, now time.Time) {
 	if len(run.Benchmarks) == 0 {
 		log.Fatal("no benchmark result lines found")
 	}
-	now := time.Now()
 	run.Timestamp = now.Format(time.RFC3339)
 	if path == "" {
 		path = fmt.Sprintf("BENCH_%s.json", now.Format("2006-01-02"))

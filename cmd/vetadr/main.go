@@ -1,0 +1,97 @@
+// Command vetadr runs the repository's custom static-analysis suite
+// (internal/lint) over the given package patterns and fails on any
+// finding. It mechanically enforces the invariants replayable
+// emulation depends on; see DESIGN.md §9 for the rule catalogue and
+// the //lint:allow escape hatch.
+//
+// Usage:
+//
+//	vetadr [-json] [-rules nondeterminism,maporder,...] [patterns]
+//
+// Patterns default to ./... resolved against the enclosing module.
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"activedr/internal/lint"
+)
+
+func main() {
+	var (
+		jsonOut = flag.Bool("json", false, "emit findings as a JSON array on stdout")
+		rules   = flag.String("rules", "", "comma-separated rule subset (default: all)")
+		list    = flag.Bool("list", false, "list available rules and exit")
+	)
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-26s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *rules != "" {
+		want := make(map[string]bool)
+		for _, r := range strings.Split(*rules, ",") {
+			want[strings.TrimSpace(r)] = true
+		}
+		var picked []*lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				picked = append(picked, a)
+				delete(want, a.Name)
+			}
+		}
+		for r := range want {
+			fatalf("unknown rule %q (try -list)", r)
+		}
+		analyzers = picked
+	}
+
+	loader, err := lint.NewLoader("")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	pkgs, err := loader.Load(flag.Args()...)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	var findings []lint.Diagnostic
+	for _, pkg := range pkgs {
+		findings = append(findings, lint.Check(pkg, analyzers)...)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		for _, d := range findings {
+			fmt.Println(d)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "vetadr: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		}
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "vetadr: "+format+"\n", args...)
+	os.Exit(2)
+}

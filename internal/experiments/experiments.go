@@ -16,6 +16,7 @@ import (
 	"activedr/internal/activeness"
 	"activedr/internal/config"
 	"activedr/internal/parallel"
+	"activedr/internal/profiling"
 	"activedr/internal/report"
 	"activedr/internal/retention"
 	"activedr/internal/sim"
@@ -598,7 +599,7 @@ func (s *Suite) Figure12(ranks int) (*Figure12Result, error) {
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
-	start := time.Now()
+	timer := profiling.StartTimer()
 	em, err := sim.New(s.ds, sim.Config{
 		Lifetime:          timeutil.Days(90),
 		TargetUtilization: config.TargetUtilization,
@@ -607,7 +608,7 @@ func (s *Suite) Figure12(ranks int) (*Figure12Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res.Load.LoadTime = time.Since(start)
+	res.Load.LoadTime = timer.Elapsed()
 	runtime.ReadMemStats(&after)
 	if after.HeapAlloc > before.HeapAlloc {
 		res.Load.HeapBytes = after.HeapAlloc - before.HeapAlloc

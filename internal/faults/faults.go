@@ -175,6 +175,7 @@ func Retry(attempts int, backoff time.Duration, fn func() error) error {
 	var err error
 	for i := 0; i < attempts; i++ {
 		if i > 0 && backoff > 0 {
+			//lint:allow nondeterminism Retry backoff sleeps in real operations, never during replay
 			time.Sleep(backoff)
 			backoff *= 2
 		}

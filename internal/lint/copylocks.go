@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CopyLocksAnalyzer flags values containing sync primitives
+// (Mutex, RWMutex, WaitGroup, Once, Cond, Pool, Map) passed, bound,
+// assigned, or ranged by value. A copied lock guards nothing: the
+// parallel pool's accumulators looked protected in review while two
+// goroutines held two different mutexes. Our own go/types
+// implementation, independent of go vet, so the invariant is
+// enforced by the same gate as the repo-specific rules.
+var CopyLocksAnalyzer = &Analyzer{
+	Name: "copylocks",
+	Doc:  "no sync.Mutex/WaitGroup-bearing values copied, passed, or returned by value",
+	Run:  runCopyLocks,
+}
+
+var syncLockTypes = map[string]bool{
+	"sync.Mutex": true, "sync.RWMutex": true, "sync.WaitGroup": true,
+	"sync.Once": true, "sync.Cond": true, "sync.Pool": true, "sync.Map": true,
+}
+
+// lockComponent returns the rendered name of a sync primitive held
+// by value inside t (possibly t itself), or "" when t is safe to
+// copy. Pointers stop the search: sharing a *sync.Mutex is the
+// intended use.
+func lockComponent(t types.Type) string {
+	return lockComponentRec(t, make(map[types.Type]bool))
+}
+
+func lockComponentRec(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		if name := typeString(named); syncLockTypes[name] {
+			return name
+		}
+		return lockComponentRec(named.Underlying(), seen)
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name := lockComponentRec(u.Field(i).Type(), seen); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return lockComponentRec(u.Elem(), seen)
+	}
+	return ""
+}
+
+func runCopyLocks(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkFuncSig(pass, n.Recv, n.Type)
+			case *ast.FuncLit:
+				checkFuncSig(pass, nil, n.Type)
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			case *ast.CallExpr:
+				checkCallArgs(pass, n)
+			case *ast.RangeStmt:
+				checkRangeCopy(pass, n)
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					if name, ok := copiesLockValue(pass, r); ok {
+						pass.Reportf(r.Pos(), "return copies a value containing %s", name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkFuncSig flags by-value receivers, parameters, and results
+// whose types carry locks.
+func checkFuncSig(pass *Pass, recv *ast.FieldList, ft *ast.FuncType) {
+	report := func(fl *ast.FieldList, kind string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := pass.Info.Types[field.Type]
+			if !ok || tv.Type == nil {
+				continue
+			}
+			if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if name := lockComponent(tv.Type); name != "" {
+				pass.Reportf(field.Pos(), "%s passes a value containing %s by value; use a pointer", kind, name)
+			}
+		}
+	}
+	report(recv, "receiver")
+	report(ft.Params, "parameter")
+	report(ft.Results, "result")
+}
+
+// copiesLockValue reports whether evaluating e yields a by-value
+// copy of a lock-bearing value. Composite literals and address-of
+// expressions initialize rather than copy; everything else that
+// reads an existing lock-bearing value is a copy.
+func copiesLockValue(pass *Pass, e ast.Expr) (string, bool) {
+	switch e.(type) {
+	case *ast.CompositeLit, *ast.UnaryExpr, *ast.CallExpr, *ast.FuncLit, *ast.BasicLit:
+		return "", false
+	}
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil || tv.IsType() {
+		return "", false
+	}
+	if name := lockComponent(tv.Type); name != "" {
+		return name, true
+	}
+	return "", false
+}
+
+func checkAssign(pass *Pass, n *ast.AssignStmt) {
+	for i, rhs := range n.Rhs {
+		// Assigning to blank evaluates without retaining a copy.
+		if len(n.Lhs) == len(n.Rhs) {
+			if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+		}
+		if name, ok := copiesLockValue(pass, rhs); ok {
+			pass.Reportf(rhs.Pos(), "assignment copies a value containing %s", name)
+		}
+	}
+}
+
+func checkCallArgs(pass *Pass, call *ast.CallExpr) {
+	// Skip conversions and builtins: T(x) re-types, len/cap read.
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		return
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+			return
+		}
+	}
+	for _, arg := range call.Args {
+		if name, ok := copiesLockValue(pass, arg); ok {
+			pass.Reportf(arg.Pos(), "call passes a value containing %s by value", name)
+		}
+	}
+}
+
+// checkRangeCopy flags `for _, v := range xs` where v copies a
+// lock-bearing element.
+func checkRangeCopy(pass *Pass, rs *ast.RangeStmt) {
+	if rs.Tok != token.DEFINE && rs.Tok != token.ASSIGN {
+		return
+	}
+	check := func(e ast.Expr) {
+		if e == nil {
+			return
+		}
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		var obj types.Object
+		if rs.Tok == token.DEFINE {
+			obj = pass.Info.Defs[id]
+		} else {
+			obj = pass.Info.Uses[id]
+		}
+		if obj == nil || obj.Type() == nil {
+			return
+		}
+		if _, isPtr := obj.Type().Underlying().(*types.Pointer); isPtr {
+			return
+		}
+		if name := lockComponent(obj.Type()); name != "" {
+			pass.Reportf(e.Pos(), "range copies a value containing %s; range over indices or pointers", name)
+		}
+	}
+	check(rs.Key)
+	check(rs.Value)
+}

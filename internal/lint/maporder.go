@@ -1,0 +1,234 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrderAnalyzer flags range-over-map loops whose bodies produce
+// order-sensitive output — appending to a slice, writing to a
+// writer/encoder, or building a string — because Go randomizes map
+// iteration order and the replay contract requires bit-identical
+// output. The canonical collect-then-sort idiom is recognized: a
+// loop that only appends is clean when a later statement in the
+// same block sorts the destination slice.
+var MapOrderAnalyzer = &Analyzer{
+	Name: "maporder",
+	Doc:  "no map-iteration order leaking into slices, writers, or strings",
+	Run:  runMapOrder,
+}
+
+// orderSinkMethods are method names whose invocation inside a
+// range-over-map body emits output in iteration order.
+var orderSinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "EncodeElement": true, "Fprint": true, "Fprintf": true,
+	"Fprintln": true, "Print": true, "Printf": true, "Println": true,
+}
+
+// orderSinkFuncs are package-level functions that emit output.
+var orderSinkFuncs = map[string]bool{
+	"fmt.Fprint": true, "fmt.Fprintf": true, "fmt.Fprintln": true,
+	"fmt.Print": true, "fmt.Printf": true, "fmt.Println": true,
+}
+
+// sortFuncs are the sort entry points that make a collected slice
+// order-deterministic again. Values note which argument carries the
+// slice (always 0 for these).
+var sortFuncs = map[string]bool{
+	"sort.Strings": true, "sort.Ints": true, "sort.Float64s": true,
+	"sort.Slice": true, "sort.SliceStable": true, "sort.Sort": true,
+	"sort.Stable": true,
+	"slices.Sort": true, "slices.SortFunc": true, "slices.SortStableFunc": true,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Files {
+		// Walk blocks so a flagged range statement can look at its
+		// trailing siblings for the sort that redeems it.
+		ast.Inspect(f, func(n ast.Node) bool {
+			var stmts []ast.Stmt
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				stmts = n.List
+			case *ast.CaseClause:
+				stmts = n.Body
+			case *ast.CommClause:
+				stmts = n.Body
+			default:
+				return true
+			}
+			for i, s := range stmts {
+				rs, ok := s.(*ast.RangeStmt)
+				if !ok || !rangesOverMap(pass, rs) {
+					continue
+				}
+				checkMapRange(pass, rs, stmts[i+1:])
+			}
+			return true
+		})
+	}
+}
+
+func rangesOverMap(pass *Pass, rs *ast.RangeStmt) bool {
+	tv, ok := pass.Info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkMapRange inspects one range-over-map body. Nested function
+// literals are included: output produced there still happens in
+// iteration order.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
+	var appended []types.Object // slices appended to, in order seen
+	clean := true               // no sink other than appends so far
+	var firstSink ast.Node
+	var sinkWhat string
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// s += expr on a string builds output in map order.
+			if n.Tok.String() == "+=" && len(n.Lhs) == 1 && isStringExpr(pass, n.Lhs[0]) {
+				clean = false
+				if firstSink == nil {
+					firstSink, sinkWhat = n, "string concatenation"
+				}
+			}
+		case *ast.CallExpr:
+			if obj := appendTarget(pass, n); obj != nil {
+				appended = append(appended, obj)
+				return true
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if isPackageFunc(pass, sel) {
+					if fn, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok && orderSinkFuncs[fn.FullName()] {
+						clean = false
+						if firstSink == nil {
+							firstSink, sinkWhat = n, "call to "+fn.FullName()
+						}
+					}
+					return true
+				}
+				if orderSinkMethods[sel.Sel.Name] {
+					clean = false
+					if firstSink == nil {
+						firstSink, sinkWhat = n, "call to "+sel.Sel.Name
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	if !clean {
+		pass.Reportf(rs.Pos(), "range over map produces order-sensitive output (%s): iterate sorted keys instead", sinkWhat)
+		return
+	}
+	for _, obj := range appended {
+		if !sortedAfter(pass, obj, rest) {
+			pass.Reportf(rs.Pos(), "range over map appends to %q without a following sort: map iteration order leaks into the slice", obj.Name())
+			return
+		}
+	}
+}
+
+// appendTarget returns the object of the slice variable grown by a
+// `dst = append(dst, ...)` style call, or nil when call is not an
+// append into an identifiable variable.
+func appendTarget(pass *Pass, call *ast.CallExpr) types.Object {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return nil
+	}
+	if b, ok := pass.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil
+	}
+	if len(call.Args) == 0 {
+		return nil
+	}
+	return rootObject(pass, call.Args[0])
+}
+
+// rootObject resolves an expression to the variable at its root:
+// x, x.f, x[i] all resolve to x.
+func rootObject(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return pass.Info.Uses[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sortedAfter reports whether any statement in rest calls a sort
+// function mentioning obj.
+func sortedAfter(pass *Pass, obj types.Object, rest []ast.Stmt) bool {
+	for _, s := range rest {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || !sortFuncs[fn.FullName()] {
+				return true
+			}
+			for _, arg := range call.Args {
+				hit := false
+				ast.Inspect(arg, func(a ast.Node) bool {
+					if id, ok := a.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+						hit = true
+						return false
+					}
+					return true
+				})
+				if hit {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func isStringExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+// isPackageFunc reports whether sel.X names an imported package
+// (fmt.Fprintf) rather than a value (w.Write).
+func isPackageFunc(pass *Pass, sel *ast.SelectorExpr) bool {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isPkg := pass.Info.Uses[id].(*types.PkgName)
+	return isPkg
+}

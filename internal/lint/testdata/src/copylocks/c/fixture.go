@@ -1,0 +1,58 @@
+// Package c is a copylocks-rule fixture: sync primitives crossing
+// value boundaries.
+package c
+
+import "sync"
+
+// Guarded embeds a mutex by value, as a guarded struct should.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// ByValue takes the lock-bearing struct by value.
+func ByValue(g Guarded) int { // want "parameter passes a value containing sync.Mutex by value"
+	return g.n
+}
+
+// ByPointer shares the lock correctly.
+func ByPointer(g *Guarded) int { return g.n }
+
+// ValueReceiver copies its receiver's mutex on every call.
+func (g Guarded) ValueReceiver() int { return g.n } // want "receiver passes a value containing sync.Mutex by value"
+
+// Returned hands out a copy of the guarded state.
+func Returned(g *Guarded) Guarded { // want "result passes a value containing sync.Mutex by value"
+	return *g // want "return copies a value containing sync.Mutex"
+}
+
+// Reassigned copies a live lock between variables.
+func Reassigned(g *Guarded) {
+	snapshot := *g // want "assignment copies a value containing sync.Mutex"
+	_ = snapshot
+}
+
+// waitSet embeds a WaitGroup so element copies are flagged.
+type waitSet struct {
+	wg sync.WaitGroup
+}
+
+// RangeCopies copies each element's embedded WaitGroup.
+func RangeCopies(xs []waitSet) {
+	for _, x := range xs { // want "range copies a value containing sync.WaitGroup"
+		_ = x
+	}
+}
+
+// Passed forwards a lock-bearing value into a call.
+func Passed(g *Guarded) {
+	sink(*g) // want "call passes a value containing sync.Mutex by value"
+}
+
+func sink(Guarded) {} // want "parameter passes a value containing sync.Mutex by value"
+
+// Fresh initializes in place: composite literals are not copies.
+func Fresh() *Guarded {
+	g := Guarded{n: 1}
+	return &g
+}

@@ -1,0 +1,72 @@
+// Package m is a maporder-rule fixture: map iteration feeding
+// order-sensitive sinks, with and without the redeeming sort.
+package m
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// LeakyKeys appends map keys and never sorts them.
+func LeakyKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "appends to \"keys\" without a following sort"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// SortedKeys is the sanctioned collect-then-sort idiom.
+func SortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Dump writes values in iteration order.
+func Dump(w io.Writer, m map[string]int) {
+	for k, v := range m { // want "order-sensitive output \(call to fmt.Fprintf\)"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// Joined builds a string in iteration order.
+func Joined(m map[string]bool) string {
+	s := ""
+	for k := range m { // want "order-sensitive output \(string concatenation\)"
+		s += k
+	}
+	return s
+}
+
+// Built streams into a strings.Builder in iteration order.
+func Built(m map[string]bool) string {
+	var b strings.Builder
+	for k := range m { // want "order-sensitive output \(call to WriteString\)"
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// Totals is order-insensitive: integer sums commute.
+func Totals(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Invert writes to another map: no order leaks.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}

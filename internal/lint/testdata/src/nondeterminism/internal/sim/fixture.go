@@ -1,0 +1,32 @@
+// Package sim is a nondeterminism-rule fixture: its directory path
+// ends in internal/sim, so the rule scopes it exactly like the real
+// replay emulator package.
+package sim
+
+import (
+	"math/rand" // want "import of math/rand in deterministic package"
+	"time"
+)
+
+// Stamp holds a wall-clock field the rule must reject.
+type Stamp struct {
+	Taken time.Time // want "time.Time in deterministic package"
+}
+
+// Elapse reads the wall clock twice.
+func Elapse() time.Duration {
+	start := time.Now() // want "time.Now reads the wall clock"
+	work()
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+// Jittered draws from the global math/rand source.
+func Jittered() int {
+	return rand.Intn(10)
+}
+
+// Durations alone are fine: a time.Duration is a value, not a clock.
+func work() time.Duration { return 5 * time.Second }
+
+// NowFunc stores a clock function by reference, not just by call.
+var NowFunc = time.Now // want "time.Now reads the wall clock"

@@ -1,0 +1,68 @@
+// Package trace is an unchecked-close fixture: its directory path
+// ends in internal/trace, one of the persistence packages the rule
+// guards.
+package trace
+
+import "strings"
+
+// W is a writer whose error results matter.
+type W struct{}
+
+// Close finalizes the writer.
+func (W) Close() error { return nil }
+
+// Flush drains buffered output.
+func (W) Flush() error { return nil }
+
+// Write emits one chunk.
+func (W) Write(p []byte) (int, error) { return len(p), nil }
+
+// silent is a closer whose Close returns nothing; dropping it is fine.
+type silent struct{}
+
+func (silent) Close() {}
+
+// Dropped discards every error a writer reports.
+func Dropped(w W) {
+	w.Close()    // want "error from Close dropped"
+	w.Flush()    // want "error from Flush dropped"
+	w.Write(nil) // want "error from Write dropped"
+}
+
+// Checked handles each error.
+func Checked(w W) error {
+	if _, err := w.Write(nil); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+// DeferredClose is the tolerated read-side idiom.
+func DeferredClose(w W) {
+	defer w.Close()
+}
+
+// DeferredFlush loses the error irrecoverably.
+func DeferredFlush(w W) {
+	defer w.Flush() // want "error from Flush dropped in defer"
+}
+
+// Background flushes on another goroutine, dropping the error.
+func Background(w W) {
+	go w.Flush() // want "error from Flush dropped in go statement"
+}
+
+// NoError drops a Close that has nothing to report.
+func NoError(s silent) {
+	s.Close()
+}
+
+// Builder writes never fail; dropping them is idiomatic.
+func Builder() string {
+	var b strings.Builder
+	b.WriteString("x")
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// UncheckedCloseAnalyzer flags dropped errors from Close, Flush,
+// Write, and WriteString method calls on the persistence paths —
+// internal/trace (trace and report encoding), internal/sim
+// (checkpointing), and the cmd/* tools. A checkpoint whose final
+// Flush error vanishes is a checkpoint that silently fails to
+// resume. `defer x.Close()` is tolerated for Close only: the
+// deferred-read-side close is idiomatic and the write-side code here
+// funnels through closeAll/errors.Join instead.
+var UncheckedCloseAnalyzer = &Analyzer{
+	Name: "unchecked-close",
+	Doc:  "no dropped errors from Close/Flush/Write on persistence paths",
+	Run:  runUncheckedClose,
+}
+
+var uncheckedClosePkgs = []string{"internal/trace", "internal/sim"}
+
+var errorDroppers = map[string]bool{
+	"Close": true, "Flush": true, "Write": true, "WriteString": true,
+}
+
+func uncheckedClosePackage(path string) bool {
+	for _, p := range uncheckedClosePkgs {
+		if pathHasSuffix(path, p) {
+			return true
+		}
+	}
+	// All command-line tools: they own the final writes of reports,
+	// benchmarks, and checkpoints.
+	return strings.Contains(path, "/cmd/") || strings.HasPrefix(path, "cmd/")
+}
+
+func runUncheckedClose(pass *Pass) {
+	if !uncheckedClosePackage(pass.Path) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				checkDroppedCall(pass, n.X, "")
+			case *ast.DeferStmt:
+				checkDroppedCall(pass, n.Call, " in defer")
+				return false
+			case *ast.GoStmt:
+				checkDroppedCall(pass, n.Call, " in go statement")
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// checkDroppedCall flags a statement-position method call whose
+// error result is discarded. how names the dropping context ("",
+// " in defer", " in go statement").
+func checkDroppedCall(pass *Pass, e ast.Expr, how string) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !errorDroppers[sel.Sel.Name] {
+		return
+	}
+	if isPackageFunc(pass, sel) {
+		return // fmt.Println etc. — not a writer method
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || !returnsError(fn) {
+		return
+	}
+	if neverFailsWriter(pass, sel.X) {
+		return // strings.Builder / bytes.Buffer document a nil error
+	}
+	if how == " in defer" && sel.Sel.Name == "Close" {
+		return
+	}
+	pass.Reportf(call.Pos(), "error from %s dropped%s: a failed %s loses buffered data silently", sel.Sel.Name, how, sel.Sel.Name)
+}
+
+// neverFailsWriter reports whether recv is a strings.Builder or
+// bytes.Buffer (possibly behind a pointer), whose Write methods are
+// documented to always return a nil error.
+func neverFailsWriter(pass *Pass, recv ast.Expr) bool {
+	tv, ok := pass.Info.Types[recv]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	name := typeString(t)
+	return name == "strings.Builder" || name == "bytes.Buffer"
+}
+
+// returnsError reports whether fn's last result is error.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	last := res.At(res.Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && typeString(named) == "error"
+}

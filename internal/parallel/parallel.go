@@ -12,6 +12,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"activedr/internal/profiling"
 )
 
 // Pool runs sharded work across a fixed number of ranks.
@@ -144,12 +146,12 @@ func (p *Pool) TimedShards(n int, fn func(rank, lo, hi int)) ([]RankTiming, erro
 		wg.Add(1)
 		go func(rank, lo, hi int) {
 			defer wg.Done()
-			start := time.Now()
+			timer := profiling.StartTimer()
 			errs[rank] = callShard(rank, lo, hi, func(rank, lo, hi int) error {
 				fn(rank, lo, hi)
 				return nil
 			})
-			timings[rank] = RankTiming{Rank: rank, Items: hi - lo, Elapsed: time.Since(start)}
+			timings[rank] = RankTiming{Rank: rank, Items: hi - lo, Elapsed: timer.Elapsed()}
 		}(r, s[0], s[1])
 	}
 	wg.Wait()

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"activedr/internal/activeness"
+	"activedr/internal/profiling"
 	"activedr/internal/timeutil"
 	"activedr/internal/trace"
 	"activedr/internal/vfs"
@@ -172,7 +173,7 @@ func (f *FLT) SetFaults(fi FaultInjector) { f.Faults = fi }
 
 // Purge runs one fixed-lifetime purge pass at time tc.
 func (f *FLT) Purge(fsys *vfs.FS, ranks []activeness.Rank, tc timeutil.Time) *Report {
-	start := time.Now()
+	timer := profiling.StartTimer()
 	report := &Report{
 		Policy:      f.Name(),
 		At:          tc,
@@ -246,7 +247,7 @@ func (f *FLT) Purge(fsys *vfs.FS, ranks []activeness.Rank, tc timeutil.Time) *Re
 	}
 	report.AffectedIDs = sortedIDs(affected)
 	report.TargetReached = !f.StopAtTarget || target == 0 || report.PurgedBytes >= target
-	report.Elapsed = time.Since(start)
+	report.Elapsed = timer.Elapsed()
 	return report
 }
 
@@ -464,7 +465,7 @@ func (a *ActiveDR) lifetime(r activeness.Rank, pass int) timeutil.Duration {
 
 // Purge runs one ActiveDR retention pass at time tc.
 func (a *ActiveDR) Purge(fsys *vfs.FS, ranks []activeness.Rank, tc timeutil.Time) *Report {
-	start := time.Now()
+	timer := profiling.StartTimer()
 	report := &Report{
 		Policy:      a.Name(),
 		At:          tc,
@@ -485,7 +486,7 @@ func (a *ActiveDR) Purge(fsys *vfs.FS, ranks []activeness.Rank, tc timeutil.Time
 	if a.cfg.TargetUtilization > 0 && target == 0 {
 		// Usage is already at or below the target: nothing to purge.
 		report.TargetReached = true
-		report.Elapsed = time.Since(start)
+		report.Elapsed = timer.Elapsed()
 		return report
 	}
 	reached := func() bool { return target > 0 && report.PurgedBytes >= target }
@@ -555,7 +556,7 @@ phaseLoop:
 	}
 	report.AffectedIDs = sortedIDs(affected)
 	report.TargetReached = target == 0 || report.PurgedBytes >= target
-	report.Elapsed = time.Since(start)
+	report.Elapsed = timer.Elapsed()
 	return report
 }
 

@@ -17,6 +17,7 @@ import (
 	"activedr/internal/activeness"
 	"activedr/internal/archive"
 	"activedr/internal/faults"
+	"activedr/internal/profiling"
 	"activedr/internal/retention"
 	"activedr/internal/timeutil"
 	"activedr/internal/trace"
@@ -308,7 +309,7 @@ func (e *Emulator) RunWith(policy retention.Policy, opts RunOptions) (*Result, e
 // replay drives the access loop from st to the end of the log (or an
 // interruption point).
 func (e *Emulator) replay(policy retention.Policy, opts RunOptions, st *runState) (*Result, error) {
-	start := time.Now()
+	timer := profiling.StartTimer()
 	if opts.Faults != nil {
 		if sink, ok := policy.(retention.FaultSink); ok {
 			sink.SetFaults(opts.Faults)
@@ -365,7 +366,7 @@ func (e *Emulator) replay(policy retention.Policy, opts RunOptions, st *runState
 				}
 			}
 			if opts.StopAfterTriggers > 0 && st.triggers >= opts.StopAfterTriggers {
-				res.Elapsed = time.Since(start)
+				res.Elapsed = timer.Elapsed()
 				return res, ErrInterrupted
 			}
 		}
@@ -397,7 +398,7 @@ func (e *Emulator) replay(policy retention.Policy, opts RunOptions, st *runState
 		res.Captured = st.fsys.Clone()
 	}
 	res.Final = st.fsys
-	res.Elapsed = time.Since(start)
+	res.Elapsed = timer.Elapsed()
 	return res, nil
 }
 

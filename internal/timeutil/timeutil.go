@@ -35,6 +35,8 @@ func Days(n int) Duration { return Duration(n) * Day }
 func Hours(n int) Duration { return Duration(n) * Hour }
 
 // FromGo converts a time.Time to a Time.
+//
+//lint:allow nondeterminism FromGo is the conversion boundary from Go time
 func FromGo(t time.Time) Time { return Time(t.Unix()) }
 
 // Date builds a Time from a UTC calendar date.
@@ -43,6 +45,8 @@ func Date(year int, month time.Month, day int) Time {
 }
 
 // Go converts t to a time.Time in UTC.
+//
+//lint:allow nondeterminism Go is the conversion boundary to Go time
 func (t Time) Go() time.Time { return time.Unix(int64(t), 0).UTC() }
 
 // Add returns t shifted by d.
@@ -176,4 +180,6 @@ func (c *SimClock) Advance(d Duration) Time {
 type RealClock struct{}
 
 // Now returns the current wall-clock time.
+//
+//lint:allow nondeterminism RealClock is the explicit wall-clock escape hatch
 func (RealClock) Now() Time { return FromGo(time.Now()) }

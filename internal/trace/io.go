@@ -52,7 +52,7 @@ func openReader(path string) (io.Reader, func() error, error) {
 	}
 	gz, err := gzip.NewReader(f)
 	if err != nil {
-		f.Close()
+		f.Close() //lint:allow unchecked-close the gzip open error wins; nothing was written
 		return nil, nil, fmt.Errorf("trace: open %s: %w", path, err)
 	}
 	return gz, closeAll(gz.Close, f.Close), nil
