@@ -11,6 +11,7 @@ package activedr_test
 
 import (
 	"io"
+	"os"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -180,6 +181,80 @@ func BenchmarkTraceLoad(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ingestDir lazily writes the benchmark dataset once for the load
+// benchmarks below.
+var (
+	ingestOnce sync.Once
+	ingestPath string
+)
+
+func ingestDataset(b *testing.B) string {
+	b.Helper()
+	ds := benchDataset(b)
+	ingestOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "ingest-bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := trace.WriteDataset(dir, ds); err != nil {
+			b.Fatal(err)
+		}
+		ingestPath = dir
+	})
+	return ingestPath
+}
+
+// benchLoadDataset measures full-dataset ingestion on one read path.
+func benchLoadDataset(b *testing.B, opts trace.ReadOptions) {
+	dir := ingestDataset(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := trace.LoadDatasetWith(dir, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLoadDataset measures the default pipelined ingestion: file
+// fan-out, block-pipelined decoding, zero-allocation row parsing.
+func BenchmarkLoadDataset(b *testing.B) {
+	benchLoadDataset(b, trace.ReadOptions{})
+}
+
+// BenchmarkLoadDatasetSequential is the same load on the
+// single-goroutine fallback path (ReadOptions.Sequential), the A/B
+// baseline for the pipeline speedup.
+func BenchmarkLoadDatasetSequential(b *testing.B) {
+	benchLoadDataset(b, trace.ReadOptions{Sequential: true})
+}
+
+// benchWriteDataset measures full-dataset persistence on one write
+// path.
+func benchWriteDataset(b *testing.B, wopts trace.WriteOptions) {
+	ds := benchDataset(b)
+	dir := b.TempDir()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := trace.WriteDatasetWith(filepath.Join(dir, "out"), ds, wopts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWriteDataset measures the default concurrent writers with
+// strconv.Append row encoding.
+func BenchmarkWriteDataset(b *testing.B) {
+	benchWriteDataset(b, trace.WriteOptions{})
+}
+
+// BenchmarkWriteDatasetSequential is the same write one file at a
+// time.
+func BenchmarkWriteDatasetSequential(b *testing.B) {
+	benchWriteDataset(b, trace.WriteOptions{Sequential: true})
 }
 
 // BenchmarkActivenessEval measures ranking the whole population

@@ -45,8 +45,9 @@ func main() {
 		interval = flag.Int("interval", 7, "purge trigger interval in days")
 		snapDir  = flag.String("snapshots", "", "write the FLT run's weekly metadata snapshot series to this directory")
 
-		lenient   = flag.Bool("lenient", false, "quarantine malformed trace lines instead of aborting")
-		maxErrors = flag.Int("max-errors", trace.DefaultMaxErrors, "per-file quarantine cap in -lenient mode")
+		lenient    = flag.Bool("lenient", false, "quarantine malformed trace lines instead of aborting")
+		maxErrors  = flag.Int("max-errors", trace.DefaultMaxErrors, "per-file quarantine cap in -lenient mode")
+		sequential = flag.Bool("sequential", false, "load trace files with the single-goroutine readers instead of the pipelined ones (A/B fallback)")
 
 		faultProb  = flag.Float64("faults", 0, "per-victim unlink-failure and per-trigger scan-interrupt probability")
 		faultRead  = flag.Float64("fault-read", 0, "per-attempt transient dataset-read failure probability (retried with backoff)")
@@ -74,7 +75,9 @@ func main() {
 		}
 	}()
 
-	ds := loadDataset(*data, *lenient, *maxErrors, *faultRead, *faultSeed)
+	ds := loadDataset(*data,
+		trace.ReadOptions{Lenient: *lenient, MaxErrors: *maxErrors, Sequential: *sequential},
+		*faultRead, *faultSeed)
 
 	cfg := sim.Config{
 		Lifetime:          timeutil.Days(*lifetime),
@@ -174,7 +177,7 @@ func main() {
 // -fault-read is set — through the injector's transient-error gauntlet
 // with retry/backoff, the way a flaky parallel file system would serve
 // them.
-func loadDataset(dir string, lenient bool, maxErrors int, readProb float64, seed uint64) *trace.Dataset {
+func loadDataset(dir string, ropts trace.ReadOptions, readProb float64, seed uint64) *trace.Dataset {
 	var inj *faults.Injector
 	if readProb > 0 {
 		cfg := faults.Config{Seed: seed, ReadFailProb: readProb}
@@ -196,7 +199,7 @@ func loadDataset(dir string, lenient bool, maxErrors int, readProb float64, seed
 			}
 		}
 		var err error
-		ds, rep, err = trace.LoadDatasetWith(dir, trace.ReadOptions{Lenient: lenient, MaxErrors: maxErrors})
+		ds, rep, err = trace.LoadDatasetWith(dir, ropts)
 		return err
 	})
 	if err != nil {
@@ -205,7 +208,7 @@ func loadDataset(dir string, lenient bool, maxErrors int, readProb float64, seed
 	if attempts > 1 {
 		fmt.Printf("dataset load needed %d attempts (transient read faults retried)\n", attempts)
 	}
-	if lenient && !rep.Clean() {
+	if ropts.Lenient && !rep.Clean() {
 		fmt.Printf("lenient load: %d malformed lines quarantined\n%s\n", rep.Errors(), rep.Summary())
 	}
 	return ds

@@ -22,17 +22,18 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tracegen: ")
 	var (
-		out   = flag.String("out", "data", "output directory")
-		users = flag.Int("users", 2000, "number of users")
-		seed  = flag.Uint64("seed", 0, "random seed (0 = built-in default)")
-		quiet = flag.Bool("q", false, "suppress the summary")
+		out        = flag.String("out", "data", "output directory")
+		users      = flag.Int("users", 2000, "number of users")
+		seed       = flag.Uint64("seed", 0, "random seed (0 = built-in default)")
+		quiet      = flag.Bool("q", false, "suppress the summary")
+		sequential = flag.Bool("sequential", false, "write trace files one at a time instead of concurrently (A/B fallback; identical bytes)")
 	)
 	flag.Parse()
 	ds, err := synth.Generate(synth.Config{Seed: *seed, Users: *users})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := trace.WriteDataset(*out, ds); err != nil {
+	if err := trace.WriteDatasetWith(*out, ds, trace.WriteOptions{Sequential: *sequential}); err != nil {
 		log.Fatal(err)
 	}
 	if !*quiet {

@@ -158,6 +158,19 @@ func (p *Pool) TimedShards(n int, fn func(rank, lo, hi int)) ([]RankTiming, erro
 	return timings, errors.Join(errs...)
 }
 
+// Workers runs fn once per rank concurrently — the shape of a
+// worker-pool stage draining a shared channel, as the trace ingestion
+// pipeline does — and blocks until every rank returns, joining errors
+// and recovered panics.
+func (p *Pool) Workers(fn func(rank int) error) error {
+	tasks := make([]func() error, p.ranks)
+	for r := range tasks {
+		r := r
+		tasks[r] = func() error { return fn(r) }
+	}
+	return p.Run(tasks)
+}
+
 // Run executes the tasks across the pool, collecting every error
 // (joined) and recovering panics into errors so one bad shard cannot
 // take the scan down.

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
@@ -380,5 +381,14 @@ func TestSnapshotSeriesRoundTrip(t *testing.T) {
 		if got[i].Taken != res.Snapshots[i].Taken || len(got[i].Entries) != len(res.Snapshots[i].Entries) {
 			t.Fatalf("snapshot %d mismatch", i)
 		}
+	}
+	// The parallel series loader (one decode worker per file) and the
+	// sequential fallback must hand the emulator the same series.
+	seq, _, err := trace.LoadSnapshotSeriesWith(dir, trace.NameIndex(d.Users), trace.ReadOptions{Sequential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, seq) {
+		t.Fatal("parallel and sequential series loads disagree")
 	}
 }

@@ -1,0 +1,322 @@
+package trace
+
+// Zero-allocation TSV row decoding. The pipelined readers (pipeline.go)
+// tokenize raw line bytes with a hand-rolled tab splitter and parse
+// integers straight from byte slices, materializing strings only for
+// the fields a record retains (names, paths, archetypes) — repeated
+// values are deduplicated through an intern table, the same trick
+// internal/vfs plays with its canonical path strings. Every parser
+// mirrors its strings-based sequential counterpart in io.go/extra.go
+// bit for bit: same field arity checks, same check order, same error
+// text. FuzzDecode proves the tokenizer and the int parser against
+// their strings.Split/strconv.ParseInt oracles, and the pipeline
+// equivalence tests prove whole-file agreement.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"activedr/internal/timeutil"
+)
+
+var (
+	errIntSyntax = errors.New("invalid syntax")
+	errIntRange  = errors.New("value out of range")
+)
+
+// parseIntBytes is strconv.ParseInt(string(s), 10, 64) without the
+// string conversion: same accepted inputs (optional sign, decimal
+// digits, no underscores), same overflow rejection, same value on
+// success. Callers only branch on the error, so the sentinel errors
+// carry no position info.
+func parseIntBytes(s []byte) (int64, error) {
+	if len(s) == 0 {
+		return 0, errIntSyntax
+	}
+	neg := false
+	if s[0] == '+' || s[0] == '-' {
+		neg = s[0] == '-'
+		s = s[1:]
+		if len(s) == 0 {
+			return 0, errIntSyntax
+		}
+	}
+	// Mirrors strconv's ParseUint cutoff logic for base 10, then the
+	// signed-range check.
+	const cutoff = (1<<64-1)/10 + 1
+	var n uint64
+	for _, c := range s {
+		d := c - '0'
+		if d > 9 {
+			return 0, errIntSyntax
+		}
+		if n >= cutoff {
+			return 0, errIntRange
+		}
+		n1 := n*10 + uint64(d)
+		if n1 < n {
+			return 0, errIntRange
+		}
+		n = n1
+	}
+	if neg {
+		if n > 1<<63 {
+			return 0, errIntRange
+		}
+		return -int64(n), nil
+	}
+	if n > 1<<63-1 {
+		return 0, errIntRange
+	}
+	return int64(n), nil
+}
+
+// splitTabs appends every tab-separated field of line to f and
+// returns it, matching strings.Split(line, "\t"): an empty line
+// yields one empty field.
+func splitTabs(line []byte, f [][]byte) [][]byte {
+	for {
+		j := bytes.IndexByte(line, '\t')
+		if j < 0 {
+			return append(f, line)
+		}
+		f = append(f, line[:j])
+		line = line[j+1:]
+	}
+}
+
+// splitTabsN is splitTabs capped at n fields, matching
+// strings.SplitN(line, "\t", n): the last field keeps any remaining
+// tabs.
+func splitTabsN(line []byte, f [][]byte, n int) [][]byte {
+	for len(f) < n-1 {
+		j := bytes.IndexByte(line, '\t')
+		if j < 0 {
+			return append(f, line)
+		}
+		f = append(f, line[:j])
+		line = line[j+1:]
+	}
+	return append(f, line)
+}
+
+// strIntern deduplicates materialized strings: repeated byte patterns
+// (access-log paths, archetype tags, snapshot paths shared across a
+// weekly series) hand out one shared string instead of one copy per
+// row. The map lookup with an in-place string conversion does not
+// allocate on a hit. A nil table disables interning and copies every
+// value (right for fields that never repeat).
+type strIntern map[string]string
+
+func (t strIntern) get(b []byte) string {
+	if t == nil {
+		return string(b)
+	}
+	if s, ok := t[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	t[s] = s
+	return s
+}
+
+// decoder is one parser worker's scratch state: the reusable field
+// slice and the intern tables. Each worker owns one, so no locks are
+// needed on the hot path.
+type decoder struct {
+	fields [][]byte
+	paths  strIntern // access/snapshot paths
+	archs  strIntern // user archetype tags
+}
+
+func newDecoder(internPaths bool) *decoder {
+	dc := &decoder{fields: make([][]byte, 0, 8), archs: make(strIntern)}
+	if internPaths {
+		dc.paths = make(strIntern, 1024)
+	}
+	return dc
+}
+
+// --- per-kind row parsers (byte-slice mirrors of the parse*Line funcs) ---
+
+// decodeUser mirrors the users branch of readUsersSeq. The dense ID
+// is assigned at assembly time so quarantined rows do not consume one.
+func decodeUser(dc *decoder, line []byte) (User, error) {
+	f := splitTabs(line, dc.fields[:0])
+	if len(f) < 2 {
+		return User{}, fmt.Errorf("want ≥2 fields, got %d", len(f))
+	}
+	created, err := parseIntBytes(f[1])
+	if err != nil {
+		return User{}, fmt.Errorf("bad created timestamp %q", f[1])
+	}
+	u := User{Name: string(f[0]), Created: timeutil.Time(created)}
+	if len(f) >= 3 {
+		u.Archetype = dc.archs.get(f[2])
+	}
+	return u, nil
+}
+
+// decodeJob mirrors parseJobLine.
+func decodeJob(dc *decoder, line []byte, byName map[string]UserID) (Job, error) {
+	f := splitTabs(line, dc.fields[:0])
+	if len(f) != 4 {
+		return Job{}, fmt.Errorf("want 4 fields, got %d", len(f))
+	}
+	uid, ok := byName[string(f[0])]
+	if !ok {
+		return Job{}, fmt.Errorf("unknown user %q", f[0])
+	}
+	submit, err1 := parseIntBytes(f[1])
+	dur, err2 := parseIntBytes(f[2])
+	cores, err3 := parseIntBytes(f[3])
+	if err1 != nil || err2 != nil || err3 != nil {
+		return Job{}, fmt.Errorf("bad numeric field in %q", line)
+	}
+	return Job{
+		User:     uid,
+		Submit:   timeutil.Time(submit),
+		Duration: timeutil.Duration(dur),
+		Cores:    int(cores),
+	}, nil
+}
+
+// decodeAccess mirrors parseAccessLine.
+func decodeAccess(dc *decoder, line []byte, byName map[string]UserID) (Access, error) {
+	f := splitTabsN(line, dc.fields[:0], 5)
+	if len(f) != 5 {
+		return Access{}, fmt.Errorf("want 5 fields, got %d", len(f))
+	}
+	ts, err1 := parseIntBytes(f[0])
+	uid, ok := byName[string(f[1])]
+	create, err2 := parseIntBytes(f[2])
+	size, err3 := parseIntBytes(f[3])
+	if err1 != nil || err2 != nil || err3 != nil {
+		return Access{}, fmt.Errorf("bad numeric field in %q", line)
+	}
+	if !ok {
+		return Access{}, fmt.Errorf("unknown user %q", f[1])
+	}
+	if len(f[4]) == 0 {
+		return Access{}, fmt.Errorf("empty path")
+	}
+	return Access{
+		TS:     timeutil.Time(ts),
+		User:   uid,
+		Create: create != 0,
+		Size:   size,
+		Path:   dc.paths.get(f[4]),
+	}, nil
+}
+
+// decodePublication mirrors parsePublicationLine.
+func decodePublication(dc *decoder, line []byte, byName map[string]UserID) (Publication, error) {
+	f := splitTabs(line, dc.fields[:0])
+	if len(f) != 3 {
+		return Publication{}, fmt.Errorf("want 3 fields, got %d", len(f))
+	}
+	ts, err1 := parseIntBytes(f[0])
+	cites, err2 := parseIntBytes(f[1])
+	if err1 != nil || err2 != nil {
+		return Publication{}, fmt.Errorf("bad numeric field in %q", line)
+	}
+	authors := make([]UserID, 0, bytes.Count(f[2], []byte{','})+1)
+	rest := f[2]
+	for {
+		var name []byte
+		if j := bytes.IndexByte(rest, ','); j >= 0 {
+			name, rest = rest[:j], rest[j+1:]
+		} else {
+			name, rest = rest, nil
+		}
+		uid, ok := byName[string(name)]
+		if !ok {
+			return Publication{}, fmt.Errorf("unknown author %q", name)
+		}
+		authors = append(authors, uid)
+		if rest == nil {
+			break
+		}
+	}
+	return Publication{
+		TS:        timeutil.Time(ts),
+		Citations: int(cites),
+		Authors:   authors,
+	}, nil
+}
+
+// decodeSnapshotEntry mirrors parseSnapshotLine.
+func decodeSnapshotEntry(dc *decoder, line []byte, byName map[string]UserID) (SnapshotEntry, error) {
+	f := splitTabsN(line, dc.fields[:0], 5)
+	if len(f) != 5 {
+		return SnapshotEntry{}, fmt.Errorf("want 5 fields, got %d", len(f))
+	}
+	uid, ok := byName[string(f[0])]
+	if !ok {
+		return SnapshotEntry{}, fmt.Errorf("unknown user %q", f[0])
+	}
+	size, err1 := parseIntBytes(f[1])
+	stripes, err2 := parseIntBytes(f[2])
+	atime, err3 := parseIntBytes(f[3])
+	if err1 != nil || err2 != nil || err3 != nil {
+		return SnapshotEntry{}, fmt.Errorf("bad numeric field in %q", line)
+	}
+	if len(f[4]) == 0 {
+		return SnapshotEntry{}, fmt.Errorf("empty path")
+	}
+	return SnapshotEntry{
+		Path:    dc.paths.get(f[4]),
+		User:    uid,
+		Size:    size,
+		Stripes: int(stripes),
+		ATime:   timeutil.Time(atime),
+	}, nil
+}
+
+// decodeLogin mirrors parseLoginLine.
+func decodeLogin(dc *decoder, line []byte, byName map[string]UserID) (Login, error) {
+	f := splitTabs(line, dc.fields[:0])
+	if len(f) != 2 {
+		return Login{}, fmt.Errorf("want 2 fields, got %d", len(f))
+	}
+	ts, err := parseIntBytes(f[0])
+	if err != nil {
+		return Login{}, fmt.Errorf("bad timestamp %q", f[0])
+	}
+	uid, ok := byName[string(f[1])]
+	if !ok {
+		return Login{}, fmt.Errorf("unknown user %q", f[1])
+	}
+	return Login{User: uid, TS: timeutil.Time(ts)}, nil
+}
+
+// decodeTransfer mirrors parseTransferLine.
+func decodeTransfer(dc *decoder, line []byte, byName map[string]UserID) (Transfer, error) {
+	f := splitTabs(line, dc.fields[:0])
+	if len(f) != 4 {
+		return Transfer{}, fmt.Errorf("want 4 fields, got %d", len(f))
+	}
+	ts, err1 := parseIntBytes(f[0])
+	bytes_, err2 := parseIntBytes(f[3])
+	if err1 != nil || err2 != nil {
+		return Transfer{}, fmt.Errorf("bad numeric field in %q", line)
+	}
+	uid, ok := byName[string(f[1])]
+	if !ok {
+		return Transfer{}, fmt.Errorf("unknown user %q", f[1])
+	}
+	var dir TransferDir
+	switch {
+	case bytes.Equal(f[2], []byte("in")):
+		dir = TransferIn
+	case bytes.Equal(f[2], []byte("out")):
+		dir = TransferOut
+	default:
+		return Transfer{}, fmt.Errorf("bad direction %q", f[2])
+	}
+	if bytes_ < 0 {
+		return Transfer{}, fmt.Errorf("negative transfer size")
+	}
+	return Transfer{User: uid, TS: timeutil.Time(ts), Dir: dir, Bytes: bytes_}, nil
+}

@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The zero-allocation tokenizer and int parser must agree with their
+// stdlib oracles on every input — the pipelined readers' claim to
+// bit-identical output rests on it. Run with `go test -fuzz
+// FuzzSplitTabs` / `-fuzz FuzzParseIntBytes` for continuous fuzzing;
+// the seeds run in normal test mode.
+
+func FuzzSplitTabs(f *testing.F) {
+	for _, s := range []string{
+		"", "\t", "a\tb", "a\tb\tc\td\te\tf", "\t\t\t",
+		"no tabs here", "trailing\t", "\tleading",
+		"path\twith\ttabs\tin\t/the/last\tfield",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		var fields [][]byte
+		got := splitTabs([]byte(input), fields)
+		want := strings.Split(input, "\t")
+		if len(got) != len(want) {
+			t.Fatalf("splitTabs(%q): %d fields, strings.Split: %d", input, len(got), len(want))
+		}
+		for i := range got {
+			if string(got[i]) != want[i] {
+				t.Fatalf("splitTabs(%q)[%d] = %q, want %q", input, i, got[i], want[i])
+			}
+		}
+		for n := 1; n <= 6; n++ {
+			gotN := splitTabsN([]byte(input), fields[:0], n)
+			wantN := strings.SplitN(input, "\t", n)
+			if len(gotN) != len(wantN) {
+				t.Fatalf("splitTabsN(%q, %d): %d fields, strings.SplitN: %d", input, n, len(gotN), len(wantN))
+			}
+			for i := range gotN {
+				if string(gotN[i]) != wantN[i] {
+					t.Fatalf("splitTabsN(%q, %d)[%d] = %q, want %q", input, n, i, gotN[i], wantN[i])
+				}
+			}
+		}
+	})
+}
+
+func FuzzParseIntBytes(f *testing.F) {
+	for _, s := range []string{
+		"", "0", "1", "-1", "+5", "-", "+", "007",
+		"9223372036854775807", "9223372036854775808", // MaxInt64, MaxInt64+1
+		"-9223372036854775808", "-9223372036854775809", // MinInt64, MinInt64-1
+		"18446744073709551615", "18446744073709551616", // MaxUint64 boundary
+		"99999999999999999999999999", "1_000", " 1", "1 ", "0x10", "1e3", "٣",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		got, gerr := parseIntBytes([]byte(input))
+		want, werr := strconv.ParseInt(input, 10, 64)
+		if (gerr == nil) != (werr == nil) {
+			t.Fatalf("parseIntBytes(%q) err = %v, strconv err = %v", input, gerr, werr)
+		}
+		if gerr == nil {
+			if got != want {
+				t.Fatalf("parseIntBytes(%q) = %d, strconv = %d", input, got, want)
+			}
+			return
+		}
+		// The error class must match too: syntax vs range.
+		wantRange := errors.Is(werr, strconv.ErrRange)
+		gotRange := errors.Is(gerr, errIntRange)
+		if gotRange != wantRange {
+			t.Fatalf("parseIntBytes(%q) error class %v, strconv %v", input, gerr, werr)
+		}
+	})
+}
+
+func TestStrIntern(t *testing.T) {
+	in := make(strIntern)
+	a := in.get([]byte("/lustre/atlas/u000/f1"))
+	b := in.get([]byte("/lustre/atlas/u000/f1"))
+	c := in.get([]byte("/lustre/atlas/u000/f2"))
+	if a != b || a == c {
+		t.Fatalf("intern results wrong: %q %q %q", a, b, c)
+	}
+	if len(in) != 2 {
+		t.Fatalf("intern table holds %d entries, want 2", len(in))
+	}
+	// A nil table still materializes values, it just never dedups.
+	var nilTab strIntern
+	if got := nilTab.get([]byte("x")); got != "x" {
+		t.Fatalf("nil intern get = %q", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
 	"activedr/internal/timeutil"
@@ -61,12 +62,21 @@ const (
 // WriteLogins writes a login log as TSV: ts, user.
 func WriteLogins(w io.Writer, users []User, logins []Login) error {
 	bw := bufio.NewWriter(w)
+	bp := rowBufPool.Get().(*[]byte)
+	defer rowBufPool.Put(bp)
+	buf := *bp
 	for i := range logins {
 		l := &logins[i]
-		if _, err := fmt.Fprintf(bw, "%d\t%s\n", int64(l.TS), users[l.User].Name); err != nil {
+		buf = strconv.AppendInt(buf[:0], int64(l.TS), 10)
+		buf = append(buf, '\t')
+		buf = append(buf, users[l.User].Name...)
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			*bp = buf
 			return err
 		}
 	}
+	*bp = buf
 	return bw.Flush()
 }
 
@@ -78,6 +88,21 @@ func ReadLogins(r io.Reader, byName map[string]UserID) ([]Login, error) {
 
 // ReadLoginsWith parses a login log under the given strictness.
 func ReadLoginsWith(r io.Reader, byName map[string]UserID, opts ReadOptions) ([]Login, *ParseReport, error) {
+	return readLoginsWithHint(r, byName, opts, 0)
+}
+
+func readLoginsWithHint(r io.Reader, byName map[string]UserID, opts ReadOptions, hint int) ([]Login, *ParseReport, error) {
+	if opts.Sequential {
+		return readLoginsSeq(r, byName, opts)
+	}
+	logins, _, rep, err := readPipelined(r, byName, opts, hint, loginSpec)
+	if err != nil {
+		return nil, rep, err
+	}
+	return logins, rep, nil
+}
+
+func readLoginsSeq(r io.Reader, byName map[string]UserID, opts ReadOptions) ([]Login, *ParseReport, error) {
 	ls := newLineScanner(r, LoginsFile)
 	rep := &ParseReport{File: LoginsFile}
 	var logins []Login
@@ -121,13 +146,25 @@ func parseLoginLine(line string, byName map[string]UserID) (Login, error) {
 // WriteTransfers writes a transfer log as TSV: ts, user, dir, bytes.
 func WriteTransfers(w io.Writer, users []User, xs []Transfer) error {
 	bw := bufio.NewWriter(w)
+	bp := rowBufPool.Get().(*[]byte)
+	defer rowBufPool.Put(bp)
+	buf := *bp
 	for i := range xs {
 		t := &xs[i]
-		if _, err := fmt.Fprintf(bw, "%d\t%s\t%s\t%d\n",
-			int64(t.TS), users[t.User].Name, t.Dir, t.Bytes); err != nil {
+		buf = strconv.AppendInt(buf[:0], int64(t.TS), 10)
+		buf = append(buf, '\t')
+		buf = append(buf, users[t.User].Name...)
+		buf = append(buf, '\t')
+		buf = append(buf, t.Dir.String()...)
+		buf = append(buf, '\t')
+		buf = strconv.AppendInt(buf, t.Bytes, 10)
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			*bp = buf
 			return err
 		}
 	}
+	*bp = buf
 	return bw.Flush()
 }
 
@@ -139,6 +176,21 @@ func ReadTransfers(r io.Reader, byName map[string]UserID) ([]Transfer, error) {
 
 // ReadTransfersWith parses a transfer log under the given strictness.
 func ReadTransfersWith(r io.Reader, byName map[string]UserID, opts ReadOptions) ([]Transfer, *ParseReport, error) {
+	return readTransfersWithHint(r, byName, opts, 0)
+}
+
+func readTransfersWithHint(r io.Reader, byName map[string]UserID, opts ReadOptions, hint int) ([]Transfer, *ParseReport, error) {
+	if opts.Sequential {
+		return readTransfersSeq(r, byName, opts)
+	}
+	xs, _, rep, err := readPipelined(r, byName, opts, hint, transferSpec)
+	if err != nil {
+		return nil, rep, err
+	}
+	return xs, rep, nil
+}
+
+func readTransfersSeq(r io.Reader, byName map[string]UserID, opts ReadOptions) ([]Transfer, *ParseReport, error) {
 	ls := newLineScanner(r, TransfersFile)
 	rep := &ParseReport{File: TransfersFile}
 	var xs []Transfer

@@ -90,3 +90,84 @@ func FuzzReaders(f *testing.F) {
 		check(t, "transfers", st, serr, lt, trep, lerr)
 	})
 }
+
+// FuzzPipelineEquivalence holds the pipelined readers to bit-identical
+// behavior against ReadOptions.Sequential on arbitrary input — values,
+// reports, and error text, in both strict and lenient mode. This is
+// the fuzz-shaped version of the directed equivalence tests in
+// pipeline_test.go.
+func FuzzPipelineEquivalence(f *testing.F) {
+	seeds := []string{
+		"",
+		"u000\t100\tpower\n",
+		"1\tu000\t0\t5\t/p\n",
+		"#taken\t99\nu000\t1\t2\t3\t/p\n#taken\t7\n",
+		"#taken\tzzz\nu000\t1\t2\t3\t/p\n",
+		"good\tline\r\n\r\n# comment\nu000\t5",
+		strings.Repeat("garbage\n", 12),
+		strings.Repeat("u000\t7\n", 500),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	idx := map[string]UserID{"u000": 0, "u001": 1}
+
+	type reader func(r *strings.Reader, o ReadOptions) (any, *ParseReport, error)
+	readers := map[string]reader{
+		"users": func(r *strings.Reader, o ReadOptions) (any, *ParseReport, error) {
+			v, rep, err := ReadUsersWith(r, o)
+			return v, rep, err
+		},
+		"jobs": func(r *strings.Reader, o ReadOptions) (any, *ParseReport, error) {
+			v, rep, err := ReadJobsWith(r, idx, o)
+			return v, rep, err
+		},
+		"accesses": func(r *strings.Reader, o ReadOptions) (any, *ParseReport, error) {
+			v, rep, err := ReadAccessesWith(r, idx, o)
+			return v, rep, err
+		},
+		"publications": func(r *strings.Reader, o ReadOptions) (any, *ParseReport, error) {
+			v, rep, err := ReadPublicationsWith(r, idx, o)
+			return v, rep, err
+		},
+		"snapshot": func(r *strings.Reader, o ReadOptions) (any, *ParseReport, error) {
+			v, rep, err := ReadSnapshotWith(r, idx, o)
+			return v, rep, err
+		},
+		"logins": func(r *strings.Reader, o ReadOptions) (any, *ParseReport, error) {
+			v, rep, err := ReadLoginsWith(r, idx, o)
+			return v, rep, err
+		},
+		"transfers": func(r *strings.Reader, o ReadOptions) (any, *ParseReport, error) {
+			v, rep, err := ReadTransfersWith(r, idx, o)
+			return v, rep, err
+		},
+	}
+	optsList := []ReadOptions{
+		{},
+		{Lenient: true, MaxErrors: 8},
+	}
+
+	f.Fuzz(func(t *testing.T, input string) {
+		for name, read := range readers {
+			for _, opts := range optsList {
+				pv, prep, perr := read(strings.NewReader(input), opts)
+				seq := opts
+				seq.Sequential = true
+				sv, srep, serr := read(strings.NewReader(input), seq)
+				if (perr == nil) != (serr == nil) || (perr != nil && perr.Error() != serr.Error()) {
+					t.Fatalf("%s (lenient=%v): pipelined err = %v, sequential err = %v",
+						name, opts.Lenient, perr, serr)
+				}
+				if !reflect.DeepEqual(pv, sv) {
+					t.Fatalf("%s (lenient=%v): pipelined and sequential values differ:\n %+v\n %+v",
+						name, opts.Lenient, pv, sv)
+				}
+				if !reflect.DeepEqual(prep, srep) {
+					t.Fatalf("%s (lenient=%v): pipelined and sequential reports differ:\n %+v\n %+v",
+						name, opts.Lenient, prep, srep)
+				}
+			}
+		}
+	})
+}

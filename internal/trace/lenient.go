@@ -29,6 +29,12 @@ type ReadOptions struct {
 	// corrupt, not scuffed). Zero or negative selects
 	// DefaultMaxErrors.
 	MaxErrors int
+	// Sequential selects the original single-goroutine readers
+	// instead of the pipelined ones (pipeline.go). Both paths produce
+	// bit-identical records, reports, and errors — the equivalence
+	// tests enforce it — so this exists for A/B benchmarking and as a
+	// fallback, like retention's LegacySelection.
+	Sequential bool
 }
 
 // DefaultMaxErrors is the lenient-mode quarantine cap when
@@ -92,15 +98,23 @@ func (r *ParseReport) Summary() string {
 // reader's positioned error, lenient mode records the bare reason
 // until the cap is hit. A non-nil return means the read must stop.
 func (r *ParseReport) quarantine(ls *lineScanner, opts ReadOptions, reason error) error {
+	return r.quarantineAt(ls.name, ls.line, opts, reason.Error())
+}
+
+// quarantineAt is quarantine positioned by file name and line number
+// instead of a live scanner, so the pipeline assembler (which replays
+// worker events long after the lines were scanned) shares the exact
+// strict-abort and cap-exceeded semantics and messages.
+func (r *ParseReport) quarantineAt(name string, line int, opts ReadOptions, reason string) error {
 	if !opts.Lenient {
-		return ls.errorf("%v", reason)
+		return fmt.Errorf("trace: %s line %d: %s", name, line, reason)
 	}
 	max := opts.maxErrors()
 	if len(r.Errors) >= max {
 		return fmt.Errorf("trace: %s: more than %d malformed lines, giving up (last: line %d: %v)",
-			ls.name, max, ls.line, reason)
+			name, max, line, reason)
 	}
-	r.Errors = append(r.Errors, ParseError{File: ls.name, Line: ls.line, Reason: reason.Error()})
+	r.Errors = append(r.Errors, ParseError{File: name, Line: line, Reason: reason})
 	return nil
 }
 
@@ -112,11 +126,17 @@ func (r *ParseReport) finish(ls *lineScanner, opts ReadOptions) error {
 	if err == nil {
 		return nil
 	}
+	return r.finishAt(ls.name, ls.line, opts, err)
+}
+
+// finishAt is finish positioned by file name and scanned-line count,
+// the assembler-side twin of quarantineAt.
+func (r *ParseReport) finishAt(name string, lines int, opts ReadOptions, err error) error {
 	if opts.Lenient && isTruncation(err) {
 		r.Truncated = true
 		return nil
 	}
-	return fmt.Errorf("trace: %s line %d: %w", ls.name, ls.line+1, err)
+	return fmt.Errorf("trace: %s line %d: %w", name, lines+1, err)
 }
 
 // isTruncation recognizes an input cut short mid-stream: the flate

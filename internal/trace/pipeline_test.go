@@ -1,0 +1,474 @@
+package trace
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"activedr/internal/timeutil"
+)
+
+// Equivalence proofs for the pipelined ingestion path: on every
+// input — clean, malformed, truncated, over the MaxErrors cap — the
+// parallel pipeline must produce the same Dataset, the same
+// DatasetReport (line numbers included), and the same error text as
+// ReadOptions.Sequential. PR 1's lenient-parsing guarantees survive
+// the concurrency because these tests say so, not by assumption.
+
+func seqOpts(o ReadOptions) ReadOptions {
+	o.Sequential = true
+	return o
+}
+
+func sameErr(t *testing.T, what string, pipelined, sequential error) {
+	t.Helper()
+	if (pipelined == nil) != (sequential == nil) {
+		t.Fatalf("%s: pipelined err = %v, sequential err = %v", what, pipelined, sequential)
+	}
+	if pipelined != nil && pipelined.Error() != sequential.Error() {
+		t.Fatalf("%s: error text differs:\n pipelined:  %v\n sequential: %v", what, pipelined, sequential)
+	}
+}
+
+// loadBoth loads dir through both paths and fails the test unless the
+// datasets, reports, and errors are bit-identical.
+func loadBoth(t *testing.T, dir string, opts ReadOptions) (*Dataset, *DatasetReport, error) {
+	t.Helper()
+	pd, pr, perr := LoadDatasetWith(dir, opts)
+	sd, sr, serr := LoadDatasetWith(dir, seqOpts(opts))
+	sameErr(t, "LoadDatasetWith", perr, serr)
+	if !reflect.DeepEqual(pd, sd) {
+		t.Fatalf("datasets differ between pipelined and sequential load (lenient=%v)", opts.Lenient)
+	}
+	if !reflect.DeepEqual(pr, sr) {
+		t.Fatalf("reports differ between pipelined and sequential load (lenient=%v):\n pipelined:  %+v\n sequential: %+v", opts.Lenient, pr, sr)
+	}
+	return pd, pr, perr
+}
+
+// bigDataset synthesizes a dataset large enough that every gzipped
+// file spans multiple pipeline blocks, with enough path reuse for the
+// intern table to matter.
+func bigDataset() *Dataset {
+	t0 := timeutil.Date(2016, time.January, 1)
+	const nUsers = 200
+	d := &Dataset{}
+	for i := 0; i < nUsers; i++ {
+		arch := ""
+		if i%3 == 0 {
+			arch = "power"
+		}
+		d.Users = append(d.Users, User{ID: UserID(i), Name: fmt.Sprintf("u%03d", i),
+			Created: t0.Add(timeutil.Days(i % 30)), Archetype: arch})
+	}
+	for i := 0; i < 20000; i++ {
+		d.Jobs = append(d.Jobs, Job{User: UserID(i % nUsers), Submit: t0.Add(timeutil.Duration(i) * 60),
+			Duration: timeutil.Hours(1 + i%48), Cores: 16 + i%1024})
+	}
+	for i := 0; i < 40000; i++ {
+		d.Accesses = append(d.Accesses, Access{TS: t0.Add(timeutil.Duration(i) * 30), User: UserID(i % nUsers),
+			Create: i%5 == 0, Size: int64(i) * 512,
+			Path: fmt.Sprintf("/lustre/atlas/u%03d/proj%d/out-%d.h5", i%nUsers, i%7, i%900)})
+	}
+	for i := 0; i < 2000; i++ {
+		d.Publications = append(d.Publications, Publication{TS: t0.Add(timeutil.Days(i % 365)),
+			Citations: i % 40, Authors: []UserID{UserID(i % nUsers), UserID((i + 7) % nUsers)}})
+	}
+	for i := 0; i < 10000; i++ {
+		d.Logins = append(d.Logins, Login{User: UserID(i % nUsers), TS: t0.Add(timeutil.Duration(i) * 77)})
+		dir := TransferIn
+		if i%2 == 0 {
+			dir = TransferOut
+		}
+		d.Transfers = append(d.Transfers, Transfer{User: UserID(i % nUsers), TS: t0.Add(timeutil.Duration(i) * 91),
+			Dir: dir, Bytes: int64(i) * 1 << 20})
+	}
+	d.Snapshot.Taken = t0
+	for i := 0; i < 20000; i++ {
+		d.Snapshot.Entries = append(d.Snapshot.Entries, SnapshotEntry{
+			Path: fmt.Sprintf("/lustre/atlas/u%03d/proj%d/f%05d.dat", i%nUsers, i%7, i),
+			User: UserID(i % nUsers), Size: int64(i) * 4096, Stripes: 1 + i%8,
+			ATime: t0.Add(-timeutil.Days(i % 400))})
+	}
+	return d
+}
+
+// rewriteTrace rewrites one trace file (transparently re-gzipping)
+// through mutate, which edits its lines.
+func rewriteTrace(t *testing.T, path string, mutate func([]string) []string) {
+	t.Helper()
+	r, closeFn, err := openReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	lines = mutate(lines)
+	w, closeFn, err := openWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte(strings.Join(lines, "\n") + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelinedMatchesSequentialClean(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteDataset(dir, bigDataset()); err != nil {
+		t.Fatal(err)
+	}
+	for _, lenient := range []bool{false, true} {
+		d, rep, err := loadBoth(t, dir, ReadOptions{Lenient: lenient})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Clean() {
+			t.Fatalf("clean dataset reported dirty: %s", rep.Summary())
+		}
+		if len(d.Accesses) != 40000 || len(d.Snapshot.Entries) != 20000 {
+			t.Fatalf("load dropped records: %d accesses, %d snapshot entries",
+				len(d.Accesses), len(d.Snapshot.Entries))
+		}
+	}
+}
+
+func TestPipelinedMatchesSequentialMessy(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteDataset(dir, bigDataset()); err != nil {
+		t.Fatal(err)
+	}
+	// Scatter every flavor of damage the lenient mode quarantines:
+	// short rows, unknown users, bad numerics, empty paths, bad and
+	// duplicate #taken headers, plus blanks, comments, and CRLF line
+	// endings sprinkled at both ends and the middle of each file.
+	splice := func(lines []string, at int, insert ...string) []string {
+		out := append([]string{}, lines[:at]...)
+		out = append(out, insert...)
+		return append(out, lines[at:]...)
+	}
+	rewriteTrace(t, filepath.Join(dir, UsersFile), func(lines []string) []string {
+		lines = splice(lines, 0, "# users header", "", "solo")
+		lines = splice(lines, len(lines)/2, "u_bad\tnotanumber", "u900\t1234\tcrlf\r")
+		return append(lines, "short")
+	})
+	rewriteTrace(t, filepath.Join(dir, JobsFile), func(lines []string) []string {
+		lines = splice(lines, 1, "ghost\t1\t2\t3", "u000\tx\t2\t3")
+		return splice(lines, len(lines)-1, "u001\t1\t2", "# comment", "")
+	})
+	rewriteTrace(t, filepath.Join(dir, AccessesFile), func(lines []string) []string {
+		lines = splice(lines, len(lines)/3, "1\tu000\t0\t5\t", "x\tu000\t0\t5\t/p", "")
+		return splice(lines, 2*len(lines)/3, "1\tghost\t0\t5\t/p")
+	})
+	rewriteTrace(t, filepath.Join(dir, PubsFile), func(lines []string) []string {
+		return splice(lines, len(lines)/2, "1\t2\tghost", "1\tx\tu000", "1\t2\tu000,,u001")
+	})
+	rewriteTrace(t, filepath.Join(dir, LoginsFile), func(lines []string) []string {
+		return splice(lines, len(lines)/2, "broken", "zzz\tu000")
+	})
+	rewriteTrace(t, filepath.Join(dir, TransfersFile), func(lines []string) []string {
+		return splice(lines, len(lines)/2, "1\tu000\tsideways\t5", "1\tu000\tin\t-9")
+	})
+	rewriteTrace(t, filepath.Join(dir, SnapshotFile), func(lines []string) []string {
+		lines = splice(lines, 1, "#taken\tzzz", "u000\tx\t2\t3\t/q", "nosuch\t1\t2\t3\t/p")
+		return append(lines, "#taken\t777") // last valid header wins
+	})
+
+	d, rep, err := loadBoth(t, dir, ReadOptions{Lenient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors() == 0 {
+		t.Fatal("messy dataset produced no quarantined lines")
+	}
+	if int64(d.Snapshot.Taken) != 777 {
+		t.Fatalf("Taken = %d, want the last valid header 777", int64(d.Snapshot.Taken))
+	}
+	// Strict mode aborts on the first bad line with the identical
+	// positioned error on both paths.
+	if _, _, err := loadBoth(t, dir, ReadOptions{}); err == nil {
+		t.Fatal("strict load accepted messy dataset")
+	}
+}
+
+func TestPipelinedMatchesSequentialTruncated(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteDataset(dir, sampleDataset()); err != nil {
+		t.Fatal(err)
+	}
+	const total = 2000
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	for i := 0; i < total; i++ {
+		fmt.Fprintf(gz, "%d\tu000\t0\t5\t/lustre/atlas/u000/f%04d-%x\n", i, i, i*2654435761)
+	}
+	gz.Close()
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if err := os.WriteFile(filepath.Join(dir, AccessesFile), trunc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d, rep, err := loadBoth(t, dir, ReadOptions{Lenient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Truncated() {
+		t.Fatalf("truncation not reported: %s", rep.Summary())
+	}
+	if len(d.Accesses) == 0 || len(d.Accesses) >= total {
+		t.Fatalf("salvaged %d accesses, want a proper non-empty prefix", len(d.Accesses))
+	}
+	if _, _, err := loadBoth(t, dir, ReadOptions{}); err == nil {
+		t.Fatal("strict load accepted truncated gzip")
+	}
+}
+
+func TestPipelinedMatchesSequentialMaxErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteDataset(dir, sampleDataset()); err != nil {
+		t.Fatal(err)
+	}
+	rewriteTrace(t, filepath.Join(dir, AccessesFile), func(lines []string) []string {
+		for i := 0; i < 50; i++ {
+			lines = append(lines, fmt.Sprintf("garbage-%d", i))
+		}
+		return lines
+	})
+	_, rep, err := loadBoth(t, dir, ReadOptions{Lenient: true, MaxErrors: 10})
+	if err == nil {
+		t.Fatal("load survived past MaxErrors")
+	}
+	if !strings.Contains(err.Error(), "more than 10 malformed lines") {
+		t.Fatalf("err = %v", err)
+	}
+	last := rep.Reports[len(rep.Reports)-1]
+	if last.File != AccessesFile || len(last.Errors) != 10 {
+		t.Fatalf("aborting report = %+v", last)
+	}
+}
+
+func TestPipelinedLongLines(t *testing.T) {
+	// A line whose content reaches the 4 MiB scanner cap fails with
+	// the same positioned bufio.ErrTooLong on both paths; one just
+	// under parses fine. The long line sits after a valid one so the
+	// error line number is exercised too.
+	long := strings.Repeat("a", maxLineBytes)
+	in := "u000\t100\n" + long + "\t5\n"
+	_, _, perr := ReadUsersWith(strings.NewReader(in), ReadOptions{})
+	_, _, serr := ReadUsersWith(strings.NewReader(in), ReadOptions{Sequential: true})
+	sameErr(t, "too-long line", perr, serr)
+	if perr == nil || !strings.Contains(perr.Error(), "token too long") {
+		t.Fatalf("err = %v, want bufio.ErrTooLong", perr)
+	}
+	// Even lenient mode cannot salvage an over-long line.
+	_, _, perr = ReadUsersWith(strings.NewReader(in), ReadOptions{Lenient: true})
+	_, _, serr = ReadUsersWith(strings.NewReader(in), ReadOptions{Lenient: true, Sequential: true})
+	sameErr(t, "too-long line lenient", perr, serr)
+	if perr == nil {
+		t.Fatal("lenient read accepted an over-long line")
+	}
+
+	ok := strings.Repeat("b", maxLineBytes-16)
+	in = ok + "\t100\n"
+	pu, prep, perr := ReadUsersWith(strings.NewReader(in), ReadOptions{})
+	su, srep, serr := ReadUsersWith(strings.NewReader(in), ReadOptions{Sequential: true})
+	sameErr(t, "near-cap line", perr, serr)
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	if !reflect.DeepEqual(pu, su) || !reflect.DeepEqual(prep, srep) {
+		t.Fatal("near-cap line parses differ")
+	}
+	if len(pu) != 1 || len(pu[0].Name) != maxLineBytes-16 {
+		t.Fatalf("near-cap user mangled: %d users", len(pu))
+	}
+}
+
+func TestPipelinedEdgeInputs(t *testing.T) {
+	idx := map[string]UserID{"u000": 0}
+	inputs := []string{
+		"",
+		"\n",
+		"\r\n",
+		"#only a comment\n",
+		"u000\t1",             // no trailing newline
+		"u000\t1\r\n\r\nu000\t2\r", // CRLF endings, trailing CR
+		"\t\n",
+		strings.Repeat("u000\t7\n", 100000), // multi-block
+	}
+	for _, lenient := range []bool{false, true} {
+		opts := ReadOptions{Lenient: lenient}
+		for i, in := range inputs {
+			pu, prep, perr := ReadUsersWith(strings.NewReader(in), opts)
+			su, srep, serr := ReadUsersWith(strings.NewReader(in), seqOpts(opts))
+			sameErr(t, fmt.Sprintf("users input %d", i), perr, serr)
+			if !reflect.DeepEqual(pu, su) {
+				t.Fatalf("input %d (lenient=%v): users differ:\n pipelined:  %+v\n sequential: %+v", i, lenient, pu, su)
+			}
+			if !reflect.DeepEqual(prep, srep) {
+				t.Fatalf("input %d (lenient=%v): reports differ:\n pipelined:  %+v\n sequential: %+v", i, lenient, prep, srep)
+			}
+			ps, psrep, perr := ReadSnapshotWith(strings.NewReader(in), idx, opts)
+			ss, ssrep, serr := ReadSnapshotWith(strings.NewReader(in), idx, seqOpts(opts))
+			sameErr(t, fmt.Sprintf("snapshot input %d", i), perr, serr)
+			if !reflect.DeepEqual(ps, ss) || !reflect.DeepEqual(psrep, ssrep) {
+				t.Fatalf("input %d (lenient=%v): snapshots differ", i, lenient)
+			}
+		}
+	}
+}
+
+func TestSnapshotSeriesPipelinedMatchesSequential(t *testing.T) {
+	dir := t.TempDir()
+	d := bigDataset()
+	t0 := timeutil.Date(2016, time.March, 1)
+	var snaps []*Snapshot
+	for w := 0; w < 5; w++ {
+		s := &Snapshot{Taken: t0.Add(timeutil.Days(7 * w))}
+		for i := 0; i < 3000; i++ {
+			s.Entries = append(s.Entries, SnapshotEntry{
+				Path: fmt.Sprintf("/lustre/atlas/u%03d/w%d/f%04d", i%200, w, i),
+				User: UserID(i % 200), Size: int64(i) * 1024, Stripes: 1 + i%4,
+				ATime: s.Taken - timeutil.Time(i)})
+		}
+		snaps = append(snaps, s)
+	}
+	if err := WriteSnapshotSeries(dir, d.Users, snaps); err != nil {
+		t.Fatal(err)
+	}
+	idx := NameIndex(d.Users)
+
+	check := func(opts ReadOptions) ([]*Snapshot, []*ParseReport, error) {
+		t.Helper()
+		pg, pr, perr := LoadSnapshotSeriesWith(dir, idx, opts)
+		sg, sr, serr := LoadSnapshotSeriesWith(dir, idx, seqOpts(opts))
+		sameErr(t, "LoadSnapshotSeriesWith", perr, serr)
+		if !reflect.DeepEqual(pg, sg) {
+			t.Fatal("series snapshots differ between pipelined and sequential")
+		}
+		if !reflect.DeepEqual(pr, sr) {
+			t.Fatalf("series reports differ:\n pipelined:  %+v\n sequential: %+v", pr, sr)
+		}
+		return pg, pr, perr
+	}
+	got, reps, err := check(ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 || len(reps) != 5 {
+		t.Fatalf("loaded %d snapshots, %d reports, want 5/5", len(got), len(reps))
+	}
+	for i, s := range got {
+		if !reflect.DeepEqual(s, snaps[i]) {
+			t.Fatalf("snapshot %d mangled in round trip", i)
+		}
+	}
+	if reps[0].File == SnapshotFile || !strings.HasPrefix(reps[0].File, "snapshot-") {
+		t.Fatalf("series report named %q, want the base file name", reps[0].File)
+	}
+
+	// Truncate the third file: lenient mode salvages a prefix and
+	// flags that report Truncated — the closeFn error is no longer
+	// swallowed — while strict mode refuses the series on both paths.
+	matches, err := filepath.Glob(filepath.Join(dir, "snapshot-*.tsv.gz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(matches[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(matches[2], raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshotSeries(dir, idx); err == nil {
+		t.Fatal("strict series load accepted truncated gzip")
+	}
+	if _, _, err := check(ReadOptions{}); err == nil {
+		t.Fatal("strict series load accepted truncated gzip")
+	}
+	got, reps, err = check(ReadOptions{Lenient: true})
+	if err != nil {
+		t.Fatalf("lenient series load failed: %v", err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("lenient series load kept %d snapshots, want 5", len(got))
+	}
+	truncated := 0
+	for _, r := range reps {
+		if r.Truncated {
+			truncated++
+		}
+	}
+	if truncated != 1 {
+		t.Fatalf("%d reports flagged Truncated, want exactly 1", truncated)
+	}
+}
+
+func TestLoadSnapshotSeriesOrdersByTaken(t *testing.T) {
+	// File names deliberately disagree with capture times: the result
+	// must be ordered by Snapshot.Taken, the contract, on both paths.
+	dir := t.TempDir()
+	users := []User{{ID: 0, Name: "u000"}}
+	later := &Snapshot{Taken: timeutil.Date(2016, time.June, 1),
+		Entries: []SnapshotEntry{{Path: "/a", User: 0, Size: 1, Stripes: 1}}}
+	earlier := &Snapshot{Taken: timeutil.Date(2016, time.January, 1),
+		Entries: []SnapshotEntry{{Path: "/b", User: 0, Size: 2, Stripes: 1}}}
+	// Lexically first file carries the later capture time.
+	if err := WriteSnapshotFile(filepath.Join(dir, "snapshot-00-mislabeled.tsv.gz"), users, later); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSnapshotFile(filepath.Join(dir, "snapshot-99-mislabeled.tsv.gz"), users, earlier); err != nil {
+		t.Fatal(err)
+	}
+	idx := NameIndex(users)
+	for _, opts := range []ReadOptions{{}, {Sequential: true}} {
+		got, _, err := LoadSnapshotSeriesWith(dir, idx, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 2 || got[0].Taken != earlier.Taken || got[1].Taken != later.Taken {
+			t.Fatalf("series not ordered by Taken (sequential=%v): %d, %d",
+				opts.Sequential, got[0].Taken, got[1].Taken)
+		}
+	}
+}
+
+func TestWriteDatasetParallelMatchesSequential(t *testing.T) {
+	d := bigDataset()
+	pdir, sdir := t.TempDir(), t.TempDir()
+	if err := WriteDatasetWith(pdir, d, WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDatasetWith(sdir, d, WriteOptions{Sequential: true}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{UsersFile, JobsFile, AccessesFile, PubsFile, LoginsFile, TransfersFile, SnapshotFile} {
+		pb, err := os.ReadFile(filepath.Join(pdir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, err := os.ReadFile(filepath.Join(sdir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(pb, sb) {
+			t.Fatalf("%s: parallel and sequential writes differ", name)
+		}
+	}
+}
