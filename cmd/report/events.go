@@ -1,0 +1,124 @@
+package main
+
+// Rendering for -events: a per-trigger summary table distilled from
+// the JSONL telemetry stream cmd/simulate -events-out writes. The
+// stream interleaves trigger, miss, and audit records (obs package
+// encoding); the table groups them by policy and charges each miss
+// and audited decision to the trigger window it arrived in.
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"activedr/internal/obs"
+)
+
+// triggerRow is one rendered trigger plus the stream records charged
+// to its window (the misses and audits seen since the prior trigger).
+type triggerRow struct {
+	ev     *obs.TriggerEvent
+	misses int64
+	audits int64
+}
+
+// policyAgg accumulates one policy's slice of the event stream.
+type policyAgg struct {
+	policy  string
+	rows    []triggerRow
+	pending triggerRow // misses/audits since the last trigger
+}
+
+// renderEvents decodes one telemetry stream and writes a per-trigger
+// table per policy, in order of each policy's first appearance.
+func renderEvents(r io.Reader, w io.Writer) error {
+	aggs := make(map[string]*policyAgg)
+	var order []*policyAgg
+	agg := func(policy string) *policyAgg {
+		a, ok := aggs[policy]
+		if !ok {
+			a = &policyAgg{policy: policy}
+			aggs[policy] = a
+			order = append(order, a)
+		}
+		return a
+	}
+	d := obs.NewDecoder(r)
+	for {
+		ev, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		switch ev := ev.(type) {
+		case *obs.TriggerEvent:
+			a := agg(ev.Policy)
+			row := a.pending
+			row.ev = ev
+			a.rows = append(a.rows, row)
+			a.pending = triggerRow{}
+		case *obs.MissEvent:
+			agg(ev.Policy).pending.misses++
+		case *obs.AuditEvent:
+			agg(ev.Policy).pending.audits++
+		}
+	}
+	if len(order) == 0 {
+		return fmt.Errorf("no telemetry events in the stream")
+	}
+	for _, a := range order {
+		if err := a.render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+const gib = float64(1 << 30)
+
+func (a *policyAgg) render(w io.Writer) error {
+	fmt.Fprintf(w, "\n%s: %d purge triggers\n", a.policy, len(a.rows))
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "trig\tdate\ttarget GiB\tpurged\tfreed GiB\tfreed%\tfailed\texempt\tretro\tmisses\taudits\tflags\t")
+	var tot triggerRow
+	var totPurged, totBytes, totFailed, totExempt, totRetro int64
+	for _, row := range a.rows {
+		ev := row.ev
+		freedPct := 0.0
+		if ev.TargetBytes > 0 {
+			freedPct = 100 * float64(ev.PurgedBytes) / float64(ev.TargetBytes)
+		}
+		flags := ""
+		if ev.Incomplete {
+			flags += "I" // scan interrupted
+		}
+		if !ev.TargetReached {
+			flags += "!" // trigger missed its byte target
+		}
+		if ev.RetroPasses > 0 {
+			flags += "r"
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%.1f\t%d\t%.1f\t%.0f%%\t%d\t%d\t%d\t%d\t%d\t%s\t\n",
+			ev.Seq, ev.Date, float64(ev.TargetBytes)/gib, ev.PurgedFiles,
+			float64(ev.PurgedBytes)/gib, freedPct, ev.FailedFiles, ev.Exempt,
+			ev.RetroFiles, row.misses, row.audits, flags)
+		tot.misses += row.misses
+		tot.audits += row.audits
+		totPurged += ev.PurgedFiles
+		totBytes += ev.PurgedBytes
+		totFailed += ev.FailedFiles
+		totExempt += ev.Exempt
+		totRetro += ev.RetroFiles
+	}
+	fmt.Fprintf(tw, "total\t\t\t%d\t%.1f\t\t%d\t%d\t%d\t%d\t%d\t\t\n",
+		totPurged, float64(totBytes)/gib, totFailed, totExempt, totRetro, tot.misses, tot.audits)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if a.pending.misses > 0 {
+		fmt.Fprintf(w, "(+%d misses after the final trigger)\n", a.pending.misses)
+	}
+	return nil
+}

@@ -8,6 +8,7 @@
 //	report -fig 6          # one figure
 //	report -data ./data    # use a tracegen dataset
 //	report -o results.txt  # write to a file
+//	report -events e.jsonl # per-trigger summary of a telemetry stream
 package main
 
 import (
@@ -33,6 +34,7 @@ func main() {
 		out     = flag.String("o", "", "output file (empty = stdout)")
 		ranks   = flag.Int("ranks", 4, "parallel ranks for the replay sweep and Figure 12")
 		lenient = flag.Bool("lenient", false, "quarantine malformed trace lines instead of aborting")
+		events  = flag.String("events", "", "render a per-trigger summary of this telemetry stream (from simulate -events-out) instead of figures")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the figure runs to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -47,6 +49,32 @@ func main() {
 			log.Fatal(err)
 		}
 	}()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+
+	if *events != "" {
+		ef, err := os.Open(*events)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ef.Close()
+		if err := renderEvents(ef, w); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	var suite *experiments.Suite
 	if *data != "" {
@@ -64,16 +92,6 @@ func main() {
 			log.Fatal(err)
 		}
 		suite = s
-	}
-
-	var w io.Writer = os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		w = f
 	}
 
 	if err := render(suite, *fig, w, *ranks); err != nil {

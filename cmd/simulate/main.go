@@ -8,6 +8,12 @@
 // the latest one up after a kill), and -lenient salvages what it can
 // from damaged trace files instead of aborting.
 //
+// Observability: -metrics-out dumps each policy's counter registry
+// (plus per-phase wall-clock times) as JSON, -events-out streams
+// per-trigger and per-miss telemetry as JSONL (cmd/report -events
+// renders it), and -audit-sample adds a sampled per-file
+// purge-decision audit to the event stream.
+//
 // Usage:
 //
 //	simulate -data ./data -lifetime 90 -target 0.5
@@ -15,18 +21,24 @@
 //	simulate -data ./data -checkpoint-dir ./ckpt -resume    # pick up after a kill
 //	simulate -data ./data -faults 0.05 -fault-seed 42       # inject purge faults
 //	simulate -data ./data -lenient                          # salvage damaged traces
+//	simulate -data ./data -metrics-out m.json -events-out e.jsonl -audit-sample 0.01
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"path/filepath"
 	"time"
 
 	"activedr/internal/activeness"
 	"activedr/internal/archive"
 	"activedr/internal/faults"
+	"activedr/internal/obs"
 	"activedr/internal/profiling"
 	"activedr/internal/retention"
 	"activedr/internal/sim"
@@ -35,154 +47,316 @@ import (
 	"activedr/internal/trace"
 )
 
+// options carries every flag after validation; run never sees raw,
+// unchecked flag values.
+type options struct {
+	data     string
+	lifetime int
+	target   float64
+	interval int
+	snapDir  string
+
+	lenient    bool
+	maxErrors  int
+	sequential bool
+
+	faultProb  float64
+	faultRead  float64
+	faultSeed  uint64
+	faultClear int
+
+	ckptDir   string
+	ckptEvery int
+	resume    bool
+
+	metricsOut  string
+	eventsOut   string
+	auditSample float64
+
+	cpuProfile string
+	memProfile string
+}
+
+// parseFlags binds the flag set to an options struct and validates
+// it. Errors come back to the caller (ContinueOnError) so tests can
+// table-drive rejection without exiting the process.
+func parseFlags(args []string, errOut io.Writer) (*options, error) {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var o options
+	fs.StringVar(&o.data, "data", "data", "dataset directory (from tracegen)")
+	fs.IntVar(&o.lifetime, "lifetime", 90, "initial file lifetime in days")
+	fs.Float64Var(&o.target, "target", 0.5, "ActiveDR purge target utilization, in (0,1]")
+	fs.IntVar(&o.interval, "interval", 7, "purge trigger interval in days")
+	fs.StringVar(&o.snapDir, "snapshots", "", "write the FLT run's weekly metadata snapshot series to this directory")
+
+	fs.BoolVar(&o.lenient, "lenient", false, "quarantine malformed trace lines instead of aborting")
+	fs.IntVar(&o.maxErrors, "max-errors", trace.DefaultMaxErrors, "per-file quarantine cap in -lenient mode")
+	fs.BoolVar(&o.sequential, "sequential", false, "load trace files with the single-goroutine readers instead of the pipelined ones (A/B fallback)")
+
+	fs.Float64Var(&o.faultProb, "faults", 0, "per-victim unlink-failure and per-trigger scan-interrupt probability")
+	fs.Float64Var(&o.faultRead, "fault-read", 0, "per-attempt transient dataset-read failure probability (retried with backoff)")
+	fs.Uint64Var(&o.faultSeed, "fault-seed", 1, "fault injector seed")
+	fs.IntVar(&o.faultClear, "fault-clear", 0, "days into the replay after which purge faults clear (0 = never)")
+
+	fs.StringVar(&o.ckptDir, "checkpoint-dir", "", "persist resumable checkpoints under this directory (one subdirectory per policy)")
+	fs.IntVar(&o.ckptEvery, "checkpoint-every", 1, "checkpoint once every N purge triggers")
+	fs.BoolVar(&o.resume, "resume", false, "resume each policy from its latest checkpoint under -checkpoint-dir")
+
+	fs.StringVar(&o.metricsOut, "metrics-out", "", "write each policy's metrics registry and phase times to this JSON file")
+	fs.StringVar(&o.eventsOut, "events-out", "", "stream per-trigger/per-miss telemetry to this JSONL file (see cmd/report -events)")
+	fs.Float64Var(&o.auditSample, "audit-sample", 0, "fraction of per-file purge decisions to audit on the event stream, in [0,1]")
+
+	fs.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile of the replay to this file")
+	fs.StringVar(&o.memProfile, "memprofile", "", "write a heap profile at exit to this file")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	return &o, nil
+}
+
+// validate rejects nonsensical flag combinations before any work
+// happens; negated comparisons keep NaN out of the float knobs.
+func (o *options) validate() error {
+	if o.lifetime < 1 {
+		return fmt.Errorf("-lifetime must be >= 1 day, got %d", o.lifetime)
+	}
+	if o.interval < 1 {
+		return fmt.Errorf("-interval must be >= 1 day, got %d", o.interval)
+	}
+	if !(o.target > 0 && o.target <= 1) {
+		return fmt.Errorf("-target must be in (0,1], got %v", o.target)
+	}
+	if o.maxErrors < 1 {
+		return fmt.Errorf("-max-errors must be >= 1, got %d", o.maxErrors)
+	}
+	if !(o.faultProb >= 0 && o.faultProb <= 1) {
+		return fmt.Errorf("-faults probability must be in [0,1], got %v", o.faultProb)
+	}
+	if !(o.faultRead >= 0 && o.faultRead <= 1) {
+		return fmt.Errorf("-fault-read probability must be in [0,1], got %v", o.faultRead)
+	}
+	if o.faultClear < 0 {
+		return fmt.Errorf("-fault-clear must be >= 0 days, got %d", o.faultClear)
+	}
+	if o.ckptEvery < 1 {
+		return fmt.Errorf("-checkpoint-every must be >= 1, got %d", o.ckptEvery)
+	}
+	if o.resume && o.ckptDir == "" {
+		return errors.New("-resume requires -checkpoint-dir")
+	}
+	if !(o.auditSample >= 0 && o.auditSample <= 1) {
+		return fmt.Errorf("-audit-sample must be in [0,1], got %v", o.auditSample)
+	}
+	if o.auditSample > 0 && o.eventsOut == "" {
+		return errors.New("-audit-sample requires -events-out (the audit records ride the event stream)")
+	}
+	return nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("simulate: ")
-	var (
-		data     = flag.String("data", "data", "dataset directory (from tracegen)")
-		lifetime = flag.Int("lifetime", 90, "initial file lifetime in days")
-		target   = flag.Float64("target", 0.5, "ActiveDR purge target utilization")
-		interval = flag.Int("interval", 7, "purge trigger interval in days")
-		snapDir  = flag.String("snapshots", "", "write the FLT run's weekly metadata snapshot series to this directory")
-
-		lenient    = flag.Bool("lenient", false, "quarantine malformed trace lines instead of aborting")
-		maxErrors  = flag.Int("max-errors", trace.DefaultMaxErrors, "per-file quarantine cap in -lenient mode")
-		sequential = flag.Bool("sequential", false, "load trace files with the single-goroutine readers instead of the pipelined ones (A/B fallback)")
-
-		faultProb  = flag.Float64("faults", 0, "per-victim unlink-failure and per-trigger scan-interrupt probability")
-		faultRead  = flag.Float64("fault-read", 0, "per-attempt transient dataset-read failure probability (retried with backoff)")
-		faultSeed  = flag.Uint64("fault-seed", 1, "fault injector seed")
-		faultClear = flag.Int("fault-clear", 0, "days into the replay after which purge faults clear (0 = never)")
-
-		ckptDir   = flag.String("checkpoint-dir", "", "persist resumable checkpoints under this directory (one subdirectory per policy)")
-		ckptEvery = flag.Int("checkpoint-every", 1, "checkpoint once every N purge triggers")
-		resume    = flag.Bool("resume", false, "resume each policy from its latest checkpoint under -checkpoint-dir")
-
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the replay to this file")
-		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
-	)
-	flag.Parse()
-	if *resume && *ckptDir == "" {
-		log.Fatal("-resume requires -checkpoint-dir")
-	}
-	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	o, err := parseFlags(os.Args[1:], os.Stderr)
 	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
 		log.Fatal(err)
 	}
+	if err := run(o, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// policyMetrics is one policy's slice of the -metrics-out file.
+type policyMetrics struct {
+	Policy  string              `json:"policy"`
+	Metrics obs.MetricsSnapshot `json:"metrics"`
+	Phases  []obs.PhaseValue    `json:"phases"`
+}
+
+func run(o *options, out io.Writer) (err error) {
+	stopProfiles, err := profiling.Start(o.cpuProfile, o.memProfile)
+	if err != nil {
+		return err
+	}
 	defer func() {
-		if err := stopProfiles(); err != nil {
-			log.Fatal(err)
+		if perr := stopProfiles(); perr != nil && err == nil {
+			err = perr
 		}
 	}()
 
-	ds := loadDataset(*data,
-		trace.ReadOptions{Lenient: *lenient, MaxErrors: *maxErrors, Sequential: *sequential},
-		*faultRead, *faultSeed)
+	ds, err := loadDataset(o, out)
+	if err != nil {
+		return err
+	}
 
 	cfg := sim.Config{
-		Lifetime:          timeutil.Days(*lifetime),
-		TriggerInterval:   timeutil.Days(*interval),
-		TargetUtilization: *target,
+		Lifetime:          timeutil.Days(o.lifetime),
+		TriggerInterval:   timeutil.Days(o.interval),
+		TargetUtilization: o.target,
 	}
-	if *snapDir != "" {
+	if o.snapDir != "" {
 		cfg.SnapshotEvery = timeutil.Days(7)
 	}
 	em, err := sim.New(ds, cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	faultCfg := faults.Config{
-		Seed:              *faultSeed,
-		UnlinkFailProb:    *faultProb,
-		ScanInterruptProb: *faultProb,
+		Seed:              o.faultSeed,
+		UnlinkFailProb:    o.faultProb,
+		ScanInterruptProb: o.faultProb,
 	}
-	if *faultClear > 0 {
-		faultCfg.ClearAfter = ds.Snapshot.Taken.Add(timeutil.Days(*faultClear))
+	if o.faultClear > 0 {
+		faultCfg.ClearAfter = ds.Snapshot.Taken.Add(timeutil.Days(o.faultClear))
 	}
 	if err := faultCfg.Validate(); err != nil {
-		log.Fatal(err)
+		return err
 	}
+
+	// Both policies share one event stream (records carry the policy
+	// name) but get their own registry, so -metrics-out can report
+	// them side by side.
+	var events *obs.EventWriter
+	if o.eventsOut != "" {
+		ef, err := os.Create(o.eventsOut)
+		if err != nil {
+			return err
+		}
+		events = obs.NewEventWriter(ef)
+		defer func() {
+			ferr := events.Flush()
+			if cerr := ef.Close(); ferr == nil {
+				ferr = cerr
+			}
+			if ferr != nil && err == nil {
+				err = fmt.Errorf("events-out %s: %w", o.eventsOut, ferr)
+			}
+		}()
+	}
+	instrumented := o.metricsOut != "" || o.eventsOut != ""
+	var perPolicy []policyMetrics
 
 	// Each policy replays independently, with its own checkpoint
 	// subdirectory and its own injector (same seed: comparable fault
 	// streams).
-	runPolicy := func(name string, policy retention.Policy) *sim.Result {
-		opts := sim.RunOptions{CheckpointEvery: *ckptEvery}
-		if *ckptDir != "" {
-			opts.CheckpointDir = filepath.Join(*ckptDir, name)
+	runPolicy := func(name string, policy retention.Policy) (*sim.Result, error) {
+		opts := sim.RunOptions{CheckpointEvery: o.ckptEvery}
+		if o.ckptDir != "" {
+			opts.CheckpointDir = filepath.Join(o.ckptDir, name)
 		}
-		if *faultProb > 0 {
+		if o.faultProb > 0 {
 			opts.Faults = faults.New(faultCfg)
+		}
+		var reg *obs.Registry
+		if instrumented {
+			if o.metricsOut != "" {
+				reg = obs.NewRegistry()
+			}
+			ob, err := obs.NewObserver(reg, events, o.auditSample)
+			if err != nil {
+				return nil, err
+			}
+			opts.Obs = ob
+			defer func() {
+				if reg != nil {
+					perPolicy = append(perPolicy, policyMetrics{
+						Policy:  name,
+						Metrics: reg.Snapshot(),
+						Phases:  ob.Phases(),
+					})
+				}
+			}()
 		}
 		var res *sim.Result
 		var err error
-		if *resume && sim.HasCheckpoint(opts.CheckpointDir) {
+		if o.resume && sim.HasCheckpoint(opts.CheckpointDir) {
 			res, err = em.Resume(policy, opts)
 			if err == nil {
-				fmt.Printf("%-14s resumed from checkpoint in %s\n", name, opts.CheckpointDir)
+				fmt.Fprintf(out, "%-14s resumed from checkpoint in %s\n", name, opts.CheckpointDir)
 			}
 		} else {
 			res, err = em.RunWith(policy, opts)
 		}
-		if err != nil {
-			log.Fatal(err)
-		}
-		return res
+		return res, err
 	}
 
 	adr, err := em.NewActiveDR()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	cmp := &sim.Comparison{
-		FLT:      runPolicy("flt", em.NewFLT()),
-		ActiveDR: runPolicy("activedr", adr),
+	cmp := &sim.Comparison{}
+	if cmp.FLT, err = runPolicy("flt", em.NewFLT()); err != nil {
+		return err
+	}
+	if cmp.ActiveDR, err = runPolicy("activedr", adr); err != nil {
+		return err
 	}
 
-	fmt.Printf("replayed %d accesses over %d days (lifetime %dd, trigger %dd, target %.0f%%)\n",
-		cmp.FLT.TotalAccesses, len(cmp.FLT.Days), *lifetime, *interval, 100**target)
-	fmt.Printf("%-14s misses=%7d (%.2f%% of accesses), wall=%v\n",
+	fmt.Fprintf(out, "replayed %d accesses over %d days (lifetime %dd, trigger %dd, target %.0f%%)\n",
+		cmp.FLT.TotalAccesses, len(cmp.FLT.Days), o.lifetime, o.interval, 100*o.target)
+	fmt.Fprintf(out, "%-14s misses=%7d (%.2f%% of accesses), wall=%v\n",
 		cmp.FLT.Policy, cmp.FLT.TotalMisses,
 		100*float64(cmp.FLT.TotalMisses)/float64(cmp.FLT.TotalAccesses), cmp.FLT.Elapsed)
-	fmt.Printf("%-14s misses=%7d (%.2f%% of accesses), wall=%v\n",
+	fmt.Fprintf(out, "%-14s misses=%7d (%.2f%% of accesses), wall=%v\n",
 		cmp.ActiveDR.Policy, cmp.ActiveDR.TotalMisses,
 		100*float64(cmp.ActiveDR.TotalMisses)/float64(cmp.ActiveDR.TotalAccesses), cmp.ActiveDR.Elapsed)
-	fmt.Printf("overall file-miss reduction: %.1f%%\n", 100*cmp.MissReduction())
+	fmt.Fprintf(out, "overall file-miss reduction: %.1f%%\n", 100*cmp.MissReduction())
 	for _, m := range archive.Models() {
-		fmt.Printf("restore cost under %s: FLT=%v ActiveDR=%v (saves %v)\n",
+		fmt.Fprintf(out, "restore cost under %s: FLT=%v ActiveDR=%v (saves %v)\n",
 			m, cmp.FLT.RestoreCost(m).Round(time.Minute),
 			cmp.ActiveDR.RestoreCost(m).Round(time.Minute),
 			cmp.RestoreSavings(m).Round(time.Minute))
 	}
-	if *faultProb > 0 {
-		printFaultSummary(cmp.FLT)
-		printFaultSummary(cmp.ActiveDR)
+	if o.faultProb > 0 {
+		printFaultSummary(out, cmp.FLT)
+		printFaultSummary(out, cmp.ActiveDR)
 	}
-	if *snapDir != "" {
-		if err := trace.WriteSnapshotSeries(*snapDir, ds.Users, cmp.FLT.Snapshots); err != nil {
-			log.Fatal(err)
+	if o.snapDir != "" {
+		if err := trace.WriteSnapshotSeries(o.snapDir, ds.Users, cmp.FLT.Snapshots); err != nil {
+			return err
 		}
-		fmt.Printf("wrote %d weekly snapshots to %s\n", len(cmp.FLT.Snapshots), *snapDir)
+		fmt.Fprintf(out, "wrote %d weekly snapshots to %s\n", len(cmp.FLT.Snapshots), o.snapDir)
 	}
 	for _, g := range activeness.Groups() {
 		f := cmp.FLT.MissesByGroup[g]
 		a := cmp.ActiveDR.MissesByGroup[g]
-		fmt.Printf("%-22s FLT=%7d ActiveDR=%7d reduction=%6.1f%%\n",
+		fmt.Fprintf(out, "%-22s FLT=%7d ActiveDR=%7d reduction=%6.1f%%\n",
 			g, f, a, 100*stats.ReductionRatio(float64(f), float64(a)))
 	}
+	if o.metricsOut != "" {
+		blob, err := json.MarshalIndent(perPolicy, "", " ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.metricsOut, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote metrics for %d policies to %s\n", len(perPolicy), o.metricsOut)
+	}
+	if o.eventsOut != "" {
+		fmt.Fprintf(out, "wrote %d telemetry events to %s\n", events.Count(), o.eventsOut)
+	}
+	return nil
 }
 
 // loadDataset reads the traces, optionally in lenient mode, and — when
 // -fault-read is set — through the injector's transient-error gauntlet
 // with retry/backoff, the way a flaky parallel file system would serve
 // them.
-func loadDataset(dir string, ropts trace.ReadOptions, readProb float64, seed uint64) *trace.Dataset {
+func loadDataset(o *options, out io.Writer) (*trace.Dataset, error) {
+	ropts := trace.ReadOptions{Lenient: o.lenient, MaxErrors: o.maxErrors, Sequential: o.sequential}
 	var inj *faults.Injector
-	if readProb > 0 {
-		cfg := faults.Config{Seed: seed, ReadFailProb: readProb}
+	if o.faultRead > 0 {
+		cfg := faults.Config{Seed: o.faultSeed, ReadFailProb: o.faultRead}
 		if err := cfg.Validate(); err != nil {
-			log.Fatal(err)
+			return nil, err
 		}
 		inj = faults.New(cfg)
 	}
@@ -199,24 +373,24 @@ func loadDataset(dir string, ropts trace.ReadOptions, readProb float64, seed uin
 			}
 		}
 		var err error
-		ds, rep, err = trace.LoadDatasetWith(dir, ropts)
+		ds, rep, err = trace.LoadDatasetWith(o.data, ropts)
 		return err
 	})
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 	if attempts > 1 {
-		fmt.Printf("dataset load needed %d attempts (transient read faults retried)\n", attempts)
+		fmt.Fprintf(out, "dataset load needed %d attempts (transient read faults retried)\n", attempts)
 	}
 	if ropts.Lenient && !rep.Clean() {
-		fmt.Printf("lenient load: %d malformed lines quarantined\n%s\n", rep.Errors(), rep.Summary())
+		fmt.Fprintf(out, "lenient load: %d malformed lines quarantined\n%s\n", rep.Errors(), rep.Summary())
 	}
-	return ds
+	return ds, nil
 }
 
 // printFaultSummary reports what the injector did to one policy's
 // purge passes and whether the policy converged regardless.
-func printFaultSummary(res *sim.Result) {
+func printFaultSummary(out io.Writer, res *sim.Result) {
 	var failed, failedBytes int64
 	incomplete := 0
 	for _, r := range res.Reports {
@@ -230,6 +404,6 @@ func printFaultSummary(res *sim.Result) {
 	if n := len(res.Reports); n > 0 {
 		last = fmt.Sprintf("%v", res.Reports[n-1].TargetReached)
 	}
-	fmt.Printf("%-14s faults: failed unlinks=%d (%.1f GB unreclaimed at the time), interrupted scans=%d/%d, final trigger reached target: %s\n",
+	fmt.Fprintf(out, "%-14s faults: failed unlinks=%d (%.1f GB unreclaimed at the time), interrupted scans=%d/%d, final trigger reached target: %s\n",
 		res.Policy, failed, float64(failedBytes)/1e9, incomplete, len(res.Reports), last)
 }

@@ -9,8 +9,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -18,28 +20,74 @@ import (
 	"activedr/internal/trace"
 )
 
+// options carries tracegen's flags after validation.
+type options struct {
+	out        string
+	users      int
+	seed       uint64
+	quiet      bool
+	sequential bool
+}
+
+// parseFlags binds the flag set to an options struct and validates
+// it; errors come back to the caller so tests can table-drive
+// rejection without exiting the process.
+func parseFlags(args []string, errOut io.Writer) (*options, error) {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var o options
+	fs.StringVar(&o.out, "out", "data", "output directory")
+	fs.IntVar(&o.users, "users", 2000, "number of users")
+	fs.Uint64Var(&o.seed, "seed", 0, "random seed (0 = built-in default)")
+	fs.BoolVar(&o.quiet, "q", false, "suppress the summary")
+	fs.BoolVar(&o.sequential, "sequential", false, "write trace files one at a time instead of concurrently (A/B fallback; identical bytes)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	return &o, nil
+}
+
+func (o *options) validate() error {
+	if o.out == "" {
+		return errors.New("-out must not be empty")
+	}
+	if o.users < 1 {
+		return fmt.Errorf("-users must be >= 1, got %d", o.users)
+	}
+	return nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tracegen: ")
-	var (
-		out        = flag.String("out", "data", "output directory")
-		users      = flag.Int("users", 2000, "number of users")
-		seed       = flag.Uint64("seed", 0, "random seed (0 = built-in default)")
-		quiet      = flag.Bool("q", false, "suppress the summary")
-		sequential = flag.Bool("sequential", false, "write trace files one at a time instead of concurrently (A/B fallback; identical bytes)")
-	)
-	flag.Parse()
-	ds, err := synth.Generate(synth.Config{Seed: *seed, Users: *users})
+	o, err := parseFlags(os.Args[1:], os.Stderr)
 	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
 		log.Fatal(err)
 	}
-	if err := trace.WriteDatasetWith(*out, ds, trace.WriteOptions{Sequential: *sequential}); err != nil {
+	if err := run(o, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-	if !*quiet {
-		fmt.Fprintf(os.Stdout,
+}
+
+func run(o *options, out io.Writer) error {
+	ds, err := synth.Generate(synth.Config{Seed: o.seed, Users: o.users})
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteDatasetWith(o.out, ds, trace.WriteOptions{Sequential: o.sequential}); err != nil {
+		return err
+	}
+	if !o.quiet {
+		fmt.Fprintf(out,
 			"wrote %s: %d users, %d jobs, %d accesses, %d publications, %d snapshot files (%.2f TB)\n",
-			*out, len(ds.Users), len(ds.Jobs), len(ds.Accesses), len(ds.Publications),
+			o.out, len(ds.Users), len(ds.Jobs), len(ds.Accesses), len(ds.Publications),
 			len(ds.Snapshot.Entries), float64(ds.Snapshot.TotalBytes())/1e12)
 	}
+	return nil
 }

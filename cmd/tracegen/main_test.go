@@ -1,0 +1,57 @@
+package main
+
+import (
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseFlagsValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string // empty = accepted
+	}{
+		{"defaults", nil, ""},
+		{"explicit", []string{"-out", "d", "-users", "10", "-seed", "7", "-q"}, ""},
+		{"empty out", []string{"-out", ""}, "-out must not be empty"},
+		{"zero users", []string{"-users", "0"}, "-users must be >= 1"},
+		{"negative users", []string{"-users", "-3"}, "-users must be >= 1"},
+		{"unknown flag", []string{"-bogus"}, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o, err := parseFlags(tc.args, io.Discard)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("rejected: %v", err)
+				}
+				if o == nil {
+					t.Fatal("no options returned")
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("accepted, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestRunWritesDataset(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data")
+	var summary strings.Builder
+	if err := run(&options{out: dir, users: 20, seed: 3}, &summary); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(summary.String(), "20 users") {
+		t.Fatalf("summary %q does not mention the user count", summary.String())
+	}
+	if m, _ := filepath.Glob(filepath.Join(dir, "*")); len(m) == 0 {
+		t.Fatal("no dataset files written")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"time"
 
+	"activedr/internal/obs"
 	"activedr/internal/randx"
 	"activedr/internal/timeutil"
 )
@@ -78,7 +79,16 @@ type Injector struct {
 	src *randx.Source
 	at  timeutil.Time // current trigger time, set by BeginScan
 	st  State         // counters (Rand filled on State())
+	// m mirrors the counters into the observability registry when
+	// set. The zero value discards increments; restoring checkpointed
+	// metrics happens at the registry layer, never here, so the two
+	// views stay consistent across a resume.
+	m obs.FaultMetrics
 }
+
+// SetMetrics installs observability counters that mirror the
+// injector's fault decisions.
+func (in *Injector) SetMetrics(m obs.FaultMetrics) { in.m = m }
 
 // New builds an injector; it panics on an invalid config (the config
 // is programmer input, not data).
@@ -112,6 +122,7 @@ func (in *Injector) BeginScan(at timeutil.Time, files int64) int64 {
 		return -1
 	}
 	in.st.InterruptedScans++
+	in.m.InterruptedScans.Inc()
 	return in.src.Int64n(files)
 }
 
@@ -124,6 +135,7 @@ func (in *Injector) UnlinkFails(path string) bool {
 	}
 	if in.src.Bool(in.cfg.UnlinkFailProb) {
 		in.st.UnlinkFailures++
+		in.m.UnlinkFailures.Inc()
 		return true
 	}
 	return false
@@ -145,6 +157,7 @@ func (in *Injector) ReadAttempt() error {
 	}
 	if in.src.Bool(in.cfg.ReadFailProb) {
 		in.st.ReadFailures++
+		in.m.ReadFailures.Inc()
 		return fmt.Errorf("read attempt %d: %w", in.st.ReadFailures, ErrTransient)
 	}
 	return nil

@@ -20,6 +20,7 @@ var deterministicPkgs = []string{
 	"internal/synth",
 	"internal/timeutil",
 	"internal/faults",
+	"internal/obs",
 }
 
 // nondetFuncs are the time package functions that read the wall

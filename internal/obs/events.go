@@ -1,0 +1,421 @@
+package obs
+
+// The structured event stream: one JSON object per line, hand-encoded
+// with strconv.Append-style writers over pooled buffers (the PR-4
+// trace-writer idiom) so a full-year instrumented replay does not
+// spend its time in reflection. The encoders are byte-compatible with
+// encoding/json for these event types — field order follows struct
+// declaration order and strings use the same escaping rules — which
+// the round-trip tests enforce with encoding/json as the oracle, and
+// which lets any JSONL consumer (jq, cmd/report, a notebook) decode
+// the stream with a stock parser.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"unicode/utf8"
+)
+
+// Event kinds, stored in each event's Kind field.
+const (
+	KindTrigger = "trigger"
+	KindMiss    = "miss"
+	KindAudit   = "audit"
+)
+
+// TriggerEvent is the per-trigger purge record: what the pass aimed
+// for, what it freed, where the scan stopped, and how the damage
+// spread across activeness groups.
+type TriggerEvent struct {
+	Kind   string `json:"kind"`
+	Policy string `json:"policy"`
+	Seq    int64  `json:"seq"` // 1-based trigger index within the run
+	At     int64  `json:"at"`  // simulated trigger time, Unix seconds
+	Date   string `json:"date"`
+
+	FilesBefore int64 `json:"files_before"`
+	BytesBefore int64 `json:"bytes_before"`
+	TargetBytes int64 `json:"target_bytes"` // 0 = no space target
+	PurgedFiles int64 `json:"purged_files"`
+	PurgedBytes int64 `json:"purged_bytes"`
+	FailedFiles int64 `json:"failed_files"` // victims whose unlink failed
+	FailedBytes int64 `json:"failed_bytes"`
+	Exempt      int64 `json:"exempt"`   // reserved-path hits
+	Examined    int64 `json:"examined"` // scan-order position reached
+
+	Incomplete    bool `json:"incomplete"` // scan interrupted by a fault
+	TargetReached bool `json:"target_reached"`
+
+	RetroPasses int64 `json:"retro_passes"`
+	RetroFiles  int64 `json:"retro_files"` // purged on passes > 0
+	RetroBytes  int64 `json:"retro_bytes"`
+
+	PurgedByGroup []int64 `json:"purged_by_group"` // files, per activeness group
+	AffectedUsers int64   `json:"affected_users"`
+}
+
+// MissEvent records one file miss as it happens: a replayed access
+// touched a path the policy had purged.
+type MissEvent struct {
+	Kind   string `json:"kind"`
+	Policy string `json:"policy"`
+	At     int64  `json:"at"` // simulated access time, Unix seconds
+	Date   string `json:"date"`
+	User   int64  `json:"user"`
+	Group  int64  `json:"group"` // owner's activeness group at the last trigger
+	Path   string `json:"path"`
+	Bytes  int64  `json:"bytes"` // restored from the archive
+}
+
+// Audit actions, stored in AuditEvent.Action.
+const (
+	ActionPurge  = "purge"
+	ActionExempt = "exempt"
+	ActionFail   = "fail" // unlink failed; the file survived
+)
+
+// AuditEvent is one sampled per-file purge decision. The stream sits
+// behind Observer's sampling knob so a full-year run stays bounded.
+type AuditEvent struct {
+	Kind   string `json:"kind"`
+	Policy string `json:"policy"`
+	Seq    int64  `json:"seq"`    // trigger the decision belongs to
+	Action string `json:"action"` // purge | exempt | fail
+	Path   string `json:"path"`
+	User   int64  `json:"user"`
+	Group  int64  `json:"group"`
+	Pass   int64  `json:"pass"` // 0 = primary scan, >0 = retro pass
+	Bytes  int64  `json:"bytes"`
+}
+
+// lineBufs pools the per-event encoding buffers.
+var lineBufs = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
+// EventWriter emits events as JSONL. Safe for concurrent use; write
+// errors are sticky and surface from Flush/Err so a full stream never
+// silently loses its tail. A nil EventWriter discards events.
+type EventWriter struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	n   int64
+	err error
+}
+
+// NewEventWriter wraps w in a buffered JSONL encoder. The caller owns
+// w's lifecycle; call Flush before closing it.
+func NewEventWriter(w io.Writer) *EventWriter {
+	return &EventWriter{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Count returns the number of events accepted so far (0 on nil).
+func (ew *EventWriter) Count() int64 {
+	if ew == nil {
+		return 0
+	}
+	ew.mu.Lock()
+	defer ew.mu.Unlock()
+	return ew.n
+}
+
+// Flush drains the buffer to the underlying writer and returns the
+// sticky error, if any. Nil-safe.
+func (ew *EventWriter) Flush() error {
+	if ew == nil {
+		return nil
+	}
+	ew.mu.Lock()
+	defer ew.mu.Unlock()
+	if ew.err == nil {
+		ew.err = ew.bw.Flush()
+	}
+	return ew.err
+}
+
+// Err returns the sticky write error, if any. Nil-safe.
+func (ew *EventWriter) Err() error {
+	if ew == nil {
+		return nil
+	}
+	ew.mu.Lock()
+	defer ew.mu.Unlock()
+	return ew.err
+}
+
+// write appends one encoded line (already newline-terminated).
+func (ew *EventWriter) write(line []byte) {
+	ew.mu.Lock()
+	defer ew.mu.Unlock()
+	if ew.err != nil {
+		return
+	}
+	if _, err := ew.bw.Write(line); err != nil {
+		ew.err = err
+		return
+	}
+	ew.n++
+}
+
+// Trigger emits a trigger event. Nil-safe on writer and event.
+func (ew *EventWriter) Trigger(e *TriggerEvent) {
+	if ew == nil || e == nil {
+		return
+	}
+	bp := lineBufs.Get().(*[]byte)
+	*bp = e.appendJSON((*bp)[:0])
+	*bp = append(*bp, '\n')
+	ew.write(*bp)
+	lineBufs.Put(bp)
+}
+
+// Miss emits a miss event. Nil-safe on writer and event.
+func (ew *EventWriter) Miss(e *MissEvent) {
+	if ew == nil || e == nil {
+		return
+	}
+	bp := lineBufs.Get().(*[]byte)
+	*bp = e.appendJSON((*bp)[:0])
+	*bp = append(*bp, '\n')
+	ew.write(*bp)
+	lineBufs.Put(bp)
+}
+
+// Audit emits an audit event. Nil-safe on writer and event.
+func (ew *EventWriter) Audit(e *AuditEvent) {
+	if ew == nil || e == nil {
+		return
+	}
+	bp := lineBufs.Get().(*[]byte)
+	*bp = e.appendJSON((*bp)[:0])
+	*bp = append(*bp, '\n')
+	ew.write(*bp)
+	lineBufs.Put(bp)
+}
+
+func (e *TriggerEvent) appendJSON(b []byte) []byte {
+	b = append(b, '{')
+	b = appendStringField(b, "kind", KindTrigger, true)
+	b = appendStringField(b, "policy", e.Policy, false)
+	b = appendIntField(b, "seq", e.Seq)
+	b = appendIntField(b, "at", e.At)
+	b = appendStringField(b, "date", e.Date, false)
+	b = appendIntField(b, "files_before", e.FilesBefore)
+	b = appendIntField(b, "bytes_before", e.BytesBefore)
+	b = appendIntField(b, "target_bytes", e.TargetBytes)
+	b = appendIntField(b, "purged_files", e.PurgedFiles)
+	b = appendIntField(b, "purged_bytes", e.PurgedBytes)
+	b = appendIntField(b, "failed_files", e.FailedFiles)
+	b = appendIntField(b, "failed_bytes", e.FailedBytes)
+	b = appendIntField(b, "exempt", e.Exempt)
+	b = appendIntField(b, "examined", e.Examined)
+	b = appendBoolField(b, "incomplete", e.Incomplete)
+	b = appendBoolField(b, "target_reached", e.TargetReached)
+	b = appendIntField(b, "retro_passes", e.RetroPasses)
+	b = appendIntField(b, "retro_files", e.RetroFiles)
+	b = appendIntField(b, "retro_bytes", e.RetroBytes)
+	b = append(b, `,"purged_by_group":`...)
+	if e.PurgedByGroup == nil {
+		b = append(b, "null"...)
+	} else {
+		b = append(b, '[')
+		for i, v := range e.PurgedByGroup {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendInt(b, v, 10)
+		}
+		b = append(b, ']')
+	}
+	b = appendIntField(b, "affected_users", e.AffectedUsers)
+	return append(b, '}')
+}
+
+func (e *MissEvent) appendJSON(b []byte) []byte {
+	b = append(b, '{')
+	b = appendStringField(b, "kind", KindMiss, true)
+	b = appendStringField(b, "policy", e.Policy, false)
+	b = appendIntField(b, "at", e.At)
+	b = appendStringField(b, "date", e.Date, false)
+	b = appendIntField(b, "user", e.User)
+	b = appendIntField(b, "group", e.Group)
+	b = appendStringField(b, "path", e.Path, false)
+	b = appendIntField(b, "bytes", e.Bytes)
+	return append(b, '}')
+}
+
+func (e *AuditEvent) appendJSON(b []byte) []byte {
+	b = append(b, '{')
+	b = appendStringField(b, "kind", KindAudit, true)
+	b = appendStringField(b, "policy", e.Policy, false)
+	b = appendIntField(b, "seq", e.Seq)
+	b = appendStringField(b, "action", e.Action, false)
+	b = appendStringField(b, "path", e.Path, false)
+	b = appendIntField(b, "user", e.User)
+	b = appendIntField(b, "group", e.Group)
+	b = appendIntField(b, "pass", e.Pass)
+	b = appendIntField(b, "bytes", e.Bytes)
+	return append(b, '}')
+}
+
+func appendKey(b []byte, key string, first bool) []byte {
+	if !first {
+		b = append(b, ',')
+	}
+	b = append(b, '"')
+	b = append(b, key...)
+	return append(b, '"', ':')
+}
+
+func appendIntField(b []byte, key string, v int64) []byte {
+	b = appendKey(b, key, false)
+	return strconv.AppendInt(b, v, 10)
+}
+
+func appendBoolField(b []byte, key string, v bool) []byte {
+	b = appendKey(b, key, false)
+	return strconv.AppendBool(b, v)
+}
+
+func appendStringField(b []byte, key, v string, first bool) []byte {
+	b = appendKey(b, key, first)
+	return appendJSONString(b, v)
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends a quoted, escaped JSON string matching
+// encoding/json's default (HTML-escaping) encoder byte for byte:
+// quotes and backslashes escape, control characters use \n/\r/\t or
+// \u00xx, the HTML-significant <, >, & escape to </>/&,
+// U+2028/U+2029 escape, and invalid UTF-8 becomes U+FFFD.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c < utf8.RuneSelf {
+			if jsonSafe[c] {
+				b = append(b, c)
+				i++
+				continue
+			}
+			switch c {
+			case '"':
+				b = append(b, '\\', '"')
+			case '\\':
+				b = append(b, '\\', '\\')
+			case '\n':
+				b = append(b, '\\', 'n')
+			case '\r':
+				b = append(b, '\\', 'r')
+			case '\t':
+				b = append(b, '\\', 't')
+			default: // other control chars, plus < > &
+				b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			b = append(b, `\ufffd`...)
+			i++
+			continue
+		}
+		if r == '\u2028' || r == '\u2029' {
+			b = append(b, '\\', 'u', '2', '0', '2', hexDigits[r&0xf])
+			i += size
+			continue
+		}
+		b = append(b, s[i:i+size]...)
+		i += size
+	}
+	return append(b, '"')
+}
+
+// jsonSafe marks ASCII bytes that pass through unescaped.
+var jsonSafe = func() (safe [utf8.RuneSelf]bool) {
+	for c := 0x20; c < utf8.RuneSelf; c++ {
+		safe[c] = true
+	}
+	safe['"'], safe['\\'] = false, false
+	safe['<'], safe['>'], safe['&'] = false, false, false
+	return
+}()
+
+// Decoder reads an event stream back, line by line. It uses
+// encoding/json — decoding is a cold path (cmd/report, tests) — and
+// returns concretely typed events.
+type Decoder struct {
+	r    *bufio.Reader
+	line int
+}
+
+// NewDecoder wraps r.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Next decodes the next event, returning io.EOF at end of stream. The
+// result is *TriggerEvent, *MissEvent, or *AuditEvent; an unknown
+// kind or malformed line is an error naming the line number.
+func (d *Decoder) Next() (any, error) {
+	for {
+		line, err := d.r.ReadBytes('\n')
+		if len(line) == 0 && err != nil {
+			if err == io.EOF {
+				return nil, io.EOF
+			}
+			return nil, fmt.Errorf("obs: events line %d: %w", d.line+1, err)
+		}
+		d.line++
+		if len(trimSpace(line)) == 0 {
+			if err != nil {
+				return nil, io.EOF
+			}
+			continue
+		}
+		var probe struct {
+			Kind string `json:"kind"`
+		}
+		if uerr := json.Unmarshal(line, &probe); uerr != nil {
+			return nil, fmt.Errorf("obs: events line %d: %w", d.line, uerr)
+		}
+		var ev any
+		switch probe.Kind {
+		case KindTrigger:
+			ev = new(TriggerEvent)
+		case KindMiss:
+			ev = new(MissEvent)
+		case KindAudit:
+			ev = new(AuditEvent)
+		default:
+			return nil, fmt.Errorf("obs: events line %d: unknown kind %q", d.line, probe.Kind)
+		}
+		if uerr := json.Unmarshal(line, ev); uerr != nil {
+			return nil, fmt.Errorf("obs: events line %d: %w", d.line, uerr)
+		}
+		return ev, nil
+	}
+}
+
+func trimSpace(b []byte) []byte {
+	for len(b) > 0 && (b[0] == ' ' || b[0] == '\t' || b[0] == '\n' || b[0] == '\r') {
+		b = b[1:]
+	}
+	for len(b) > 0 {
+		c := b[len(b)-1]
+		if c != ' ' && c != '\t' && c != '\n' && c != '\r' {
+			break
+		}
+		b = b[:len(b)-1]
+	}
+	return b
+}

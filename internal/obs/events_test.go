@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sampleTrigger exercises every field type, including the nil and
+// non-nil group-slice shapes.
+func sampleTrigger(groups []int64) *TriggerEvent {
+	return &TriggerEvent{
+		Kind: KindTrigger, Policy: "ActiveDR-2160h0m0s", Seq: 12, At: 1467331200,
+		Date: "2016-07-01", FilesBefore: 100000, BytesBefore: 1 << 42,
+		TargetBytes: 1 << 41, PurgedFiles: 1234, PurgedBytes: 999999999,
+		FailedFiles: 3, FailedBytes: 4096, Exempt: 17, Examined: 56789,
+		Incomplete: true, TargetReached: false, RetroPasses: 5,
+		RetroFiles: 40, RetroBytes: 123456, PurgedByGroup: groups,
+		AffectedUsers: 321,
+	}
+}
+
+// nastyStrings covers the encoder's escaping table: quotes,
+// backslashes, control characters, HTML-significant bytes, the JSON
+// line separators, multi-byte UTF-8, and invalid UTF-8.
+var nastyStrings = []string{
+	"",
+	"/gpfs/alpine/user0042/run 7/output.h5",
+	`quote " backslash \ slash /`,
+	"tab\tnewline\ncarriage\rnull\x00bell\x07",
+	"<script>&amp;</script>",
+	"line sep \u2028 para sep \u2029 done",
+	"héllo wörld — ✓",
+	"broken \xff utf8 \xc3(",
+}
+
+// TestEncodingMatchesEncodingJSON is the oracle test: our
+// strconv.Append encoders must produce byte-identical output to
+// encoding/json for every event type, so any stock JSON consumer
+// reads the stream exactly as written.
+func TestEncodingMatchesEncodingJSON(t *testing.T) {
+	check := func(name string, ev interface{ appendJSON([]byte) []byte }) {
+		t.Helper()
+		got := string(ev.appendJSON(nil))
+		wantB, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got != string(wantB) {
+			t.Errorf("%s: encoding diverges from encoding/json\n got %s\nwant %s", name, got, wantB)
+		}
+	}
+	check("trigger", sampleTrigger([]int64{9, 0, 3, 1}))
+	check("trigger-nil-groups", sampleTrigger(nil))
+	check("trigger-empty-groups", sampleTrigger([]int64{}))
+	for _, s := range nastyStrings {
+		check("miss:"+s, &MissEvent{
+			Kind: KindMiss, Policy: "FLT-2160h0m0s", At: 1467331337,
+			Date: "2016-07-01", User: 7, Group: 2, Path: s, Bytes: 1 << 30,
+		})
+		check("audit:"+s, &AuditEvent{
+			Kind: KindAudit, Policy: s, Seq: 3, Action: ActionExempt,
+			Path: s, User: -1, Group: 0, Pass: 4, Bytes: 0,
+		})
+	}
+}
+
+// TestEventRoundTrip writes a mixed stream through EventWriter and
+// decodes it with encoding/json via Decoder: every event must come
+// back structurally identical.
+func TestEventRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	ew := NewEventWriter(&buf)
+	want := []any{
+		sampleTrigger([]int64{1, 2, 3, 4}),
+		&MissEvent{Kind: KindMiss, Policy: "FLT-2160h0m0s", At: 99, Date: "2016-01-02",
+			User: 12, Group: 1, Path: nastyStrings[3], Bytes: 512},
+		&AuditEvent{Kind: KindAudit, Policy: "ActiveDR-2160h0m0s", Seq: 1,
+			Action: ActionPurge, Path: nastyStrings[4], User: 3, Group: 3, Pass: 0, Bytes: 2048},
+	}
+	ew.Trigger(want[0].(*TriggerEvent))
+	ew.Miss(want[1].(*MissEvent))
+	ew.Audit(want[2].(*AuditEvent))
+	if err := ew.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n := ew.Count(); n != int64(len(want)) {
+		t.Fatalf("count = %d, want %d", n, len(want))
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != len(want) {
+		t.Fatalf("stream has %d lines, want %d", lines, len(want))
+	}
+
+	d := NewDecoder(bytes.NewReader(buf.Bytes()))
+	var got []any
+	for {
+		ev, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, ev)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		// Invalid UTF-8 is replaced with U+FFFD on encode, by design;
+		// normalize the expectation the same way encoding/json does.
+		if me, ok := w.(*MissEvent); ok {
+			cp := *me
+			cp.Path = strings.ToValidUTF8(cp.Path, "�")
+			w = &cp
+		}
+		if !reflect.DeepEqual(w, g) {
+			t.Errorf("event %d: round trip changed it\n got %#v\nwant %#v", i, g, w)
+		}
+	}
+}
+
+func TestDecoderErrors(t *testing.T) {
+	d := NewDecoder(strings.NewReader("{\"kind\":\"nope\"}\n"))
+	if _, err := d.Next(); err == nil || !strings.Contains(err.Error(), "unknown kind") {
+		t.Fatalf("unknown kind error = %v", err)
+	}
+	d = NewDecoder(strings.NewReader("not json\n"))
+	if _, err := d.Next(); err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("malformed line error = %v", err)
+	}
+	// Blank lines and a missing trailing newline are tolerated.
+	tr := sampleTrigger(nil)
+	stream := "\n" + string(tr.appendJSON(nil))
+	d = NewDecoder(strings.NewReader(stream))
+	ev, err := d.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ev.(*TriggerEvent); !ok {
+		t.Fatalf("decoded %T, want *TriggerEvent", ev)
+	}
+	if _, err := d.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF at end, got %v", err)
+	}
+}
+
+// errWriter fails after n bytes to prove write errors are sticky.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, io.ErrClosedPipe
+	}
+	if len(p) > w.n {
+		p = p[:w.n]
+	}
+	w.n -= len(p)
+	return len(p), io.ErrClosedPipe
+}
+
+func TestEventWriterStickyError(t *testing.T) {
+	ew := NewEventWriter(&errWriter{n: 8})
+	for i := 0; i < 2000; i++ {
+		ew.Miss(&MissEvent{Kind: KindMiss, Path: "/p"})
+	}
+	if err := ew.Flush(); err == nil {
+		t.Fatal("write error did not surface from Flush")
+	}
+	if err := ew.Err(); err == nil {
+		t.Fatal("write error not sticky")
+	}
+}
+
+func TestNilEventWriter(t *testing.T) {
+	var ew *EventWriter
+	ew.Trigger(sampleTrigger(nil))
+	ew.Miss(&MissEvent{})
+	ew.Audit(&AuditEvent{})
+	if ew.Count() != 0 {
+		t.Fatal("nil writer counted events")
+	}
+	if err := ew.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ew.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

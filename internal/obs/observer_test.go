@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+)
+
+func TestNewObserverValidatesSample(t *testing.T) {
+	for _, bad := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, err := NewObserver(NewRegistry(), nil, bad); err == nil {
+			t.Errorf("audit sample %v accepted", bad)
+		}
+	}
+	for _, ok := range []float64{0, 0.5, 1} {
+		if _, err := NewObserver(NewRegistry(), nil, ok); err != nil {
+			t.Errorf("audit sample %v rejected: %v", ok, err)
+		}
+	}
+}
+
+func TestNilObserverIsInert(t *testing.T) {
+	var o *Observer
+	if o.Registry() != nil || o.Events() != nil {
+		t.Fatal("nil observer handed out non-nil components")
+	}
+	o.BeginTrigger("p", 1)
+	o.EmitTrigger(&TriggerEvent{})
+	o.EmitMiss(&MissEvent{})
+	o.StartPhase("x")()
+	if ph := o.Phases(); ph != nil {
+		t.Fatalf("nil observer has phases %v", ph)
+	}
+	p := o.Probe()
+	p.Examined()
+	p.Purged("/a", 1, 0, 0, 10)
+	p.Exempt("/b", 1, 0, 0, 10)
+	p.Failed("/c", 1, 0, 0, 10)
+	p.Interrupted()
+	if e, rf, rb := o.TriggerTally(); e != 0 || rf != 0 || rb != 0 {
+		t.Fatal("nil observer tallied")
+	}
+	vp := o.VFSProbe()
+	vp.Inserts.Inc()
+	fm := o.FaultMetrics()
+	fm.ReadFailures.Inc()
+}
+
+func TestProbeCountersAndTally(t *testing.T) {
+	reg := NewRegistry()
+	o, err := NewObserver(reg, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := o.Probe()
+	o.BeginTrigger("FLT", 1)
+	p.Examined()
+	p.Examined()
+	p.Purged("/a", 1, 0, 0, 100)
+	p.Exempt("/b", 2, 1, 0, 50)
+	p.Failed("/c", 3, 2, 0, 25)
+	p.Purged("/d", 4, 3, 2, 200) // retro pass
+	p.Interrupted()
+
+	if e, rf, rb := o.TriggerTally(); e != 2 || rf != 1 || rb != 200 {
+		t.Fatalf("tally = (%d,%d,%d), want (2,1,200)", e, rf, rb)
+	}
+	expect := map[string]int64{
+		MetricPurgeExamined:    2,
+		MetricPurgedFiles:      2,
+		MetricPurgedBytes:      300,
+		MetricPurgeExempt:      1,
+		MetricPurgeFailedFiles: 1,
+		MetricPurgeFailedBytes: 25,
+		MetricPurgeInterrupted: 1,
+	}
+	for name, want := range expect {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+
+	// BeginTrigger resets the scratch but never the counters.
+	o.BeginTrigger("FLT", 2)
+	if e, rf, rb := o.TriggerTally(); e != 0 || rf != 0 || rb != 0 {
+		t.Fatalf("tally not reset: (%d,%d,%d)", e, rf, rb)
+	}
+	if got := reg.Counter(MetricPurgedFiles).Value(); got != 2 {
+		t.Fatalf("counter reset by BeginTrigger: %d", got)
+	}
+}
+
+// TestAuditSampling checks the determinism and the knob extremes:
+// sample=1 records every decision, sample=0 none, and a fractional
+// sample picks the same paths on every run.
+func TestAuditSampling(t *testing.T) {
+	paths := make([]string, 500)
+	for i := range paths {
+		paths[i] = "/gpfs/u/file" + string(rune('a'+i%26)) + "/" + string(rune('0'+i%10))
+	}
+	run := func(sample float64) []string {
+		var buf bytes.Buffer
+		ew := NewEventWriter(&buf)
+		o, err := NewObserver(NewRegistry(), ew, sample)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.BeginTrigger("p", 1)
+		for i, path := range paths {
+			o.Probe().Purged(path, int64(i), 0, 0, 1)
+		}
+		if err := ew.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		var got []string
+		d := NewDecoder(bytes.NewReader(buf.Bytes()))
+		for {
+			ev, err := d.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, ev.(*AuditEvent).Path)
+		}
+		return got
+	}
+	if got := run(1); len(got) != len(paths) {
+		t.Fatalf("sample=1 recorded %d of %d decisions", len(got), len(paths))
+	}
+	if got := run(0); len(got) != 0 {
+		t.Fatalf("sample=0 recorded %d decisions", len(got))
+	}
+	a, b := run(0.3), run(0.3)
+	if len(a) == 0 || len(a) == len(paths) {
+		t.Fatalf("sample=0.3 recorded %d of %d decisions — not a sample", len(a), len(paths))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("sampling nondeterministic: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sampling nondeterministic at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPhases(t *testing.T) {
+	o, err := NewObserver(NewRegistry(), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := o.StartPhase("purge")
+	stop()
+	o.StartPhase("replay")()
+	o.StartPhase("purge")()
+	ph := o.Phases()
+	if len(ph) != 2 {
+		t.Fatalf("phases = %v, want purge+replay", ph)
+	}
+	if ph[0].Name != "purge" || ph[1].Name != "replay" {
+		t.Fatalf("phase order = %v, want sorted by name", ph)
+	}
+	for _, p := range ph {
+		if p.Seconds < 0 {
+			t.Fatalf("negative phase time %v", p)
+		}
+	}
+}
+
+func TestSampleThreshold(t *testing.T) {
+	if sampleThreshold(0) != 0 {
+		t.Fatal("threshold(0) != 0")
+	}
+	if sampleThreshold(1) != 1<<32 {
+		t.Fatal("threshold(1) != 2^32")
+	}
+	if th := sampleThreshold(0.5); th == 0 || th >= 1<<32 {
+		t.Fatalf("threshold(0.5) = %d out of range", th)
+	}
+	// Every hash is below 2^32, so threshold(1) admits everything.
+	probe := PurgeProbe{sample: sampleThreshold(1)}
+	if !probe.sampled("/any/path") {
+		t.Fatal("sample=1 rejected a path")
+	}
+}

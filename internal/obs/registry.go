@@ -1,0 +1,364 @@
+// Package obs is the replay observability layer: a lock-cheap metrics
+// registry (counters, gauges, fixed-bucket histograms), a structured
+// JSONL event stream with per-trigger purge telemetry, and an optional
+// sampled per-file purge-decision audit log. Production purge engines
+// treat decision-level auditability as table stakes (Robinhood's
+// changelog); this package gives the emulator the same substrate
+// without leaving the standard library.
+//
+// Every metric type is safe for concurrent use and nil-safe: methods
+// on a nil *Counter, *Gauge, or *Histogram are no-ops, so
+// instrumentation sites pay a single predictable branch when
+// observability is off. Metric state is plain integers behind
+// sync/atomic — snapshots are deterministic functions of the recorded
+// values and serialize into checkpoints so a killed-and-resumed replay
+// restores its counters bit-identically (DESIGN.md §11).
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is
+// ready to use; a nil Counter discards increments.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n (n may be any sign; counters in this registry trust
+// their call sites rather than policing monotonicity).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// set overwrites the count (checkpoint restore).
+func (c *Counter) set(n int64) { c.v.Store(n) }
+
+// Gauge is a point-in-time value. The zero value is ready to use; a
+// nil Gauge discards writes.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by n.
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into fixed buckets. Bucket i counts
+// observations v with v <= Bounds[i] (and v > Bounds[i-1]); one extra
+// overflow bucket counts v > Bounds[len-1]. Bounds are inclusive
+// upper edges, so a value exactly on an edge lands in that edge's
+// bucket — the convention the bucket-boundary tests pin down. A nil
+// Histogram discards observations.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1; last is the overflow bucket
+	sum    atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	// Bucket lists here are short (≤ ~12); a linear scan beats a
+	// binary search on branch prediction alone.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the total number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values (0 on nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Registry names and owns a set of metrics. The maps are guarded by a
+// mutex but registration happens once per metric at setup; recording
+// goes straight to the returned pointers and never touches the lock.
+// A nil *Registry hands out nil metrics, which discard everything —
+// the metrics-off fast path costs one nil check per record.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil
+// registry returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// inclusive upper bucket bounds on first use. Bounds must be strictly
+// ascending and non-empty; re-registering an existing name with
+// different bounds panics — both are programmer errors, not data. A
+// nil registry returns a nil (no-op) histogram.
+func (r *Registry) Histogram(name string, bounds ...int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("obs: histogram %q has no buckets", name))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not strictly ascending at %d", name, i))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h := r.histograms[name]; h != nil {
+		if !equalBounds(h.bounds, bounds) {
+			panic(fmt.Sprintf("obs: histogram %q re-registered with different bounds", name))
+		}
+		return h
+	}
+	h := &Histogram{
+		bounds: append([]int64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	r.histograms[name] = h
+	return h
+}
+
+func equalBounds(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MetricValue is one named scalar in a snapshot.
+type MetricValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// HistogramValue is one histogram's state in a snapshot. Counts has
+// len(Bounds)+1 entries; the last is the overflow bucket.
+type HistogramValue struct {
+	Name   string  `json:"name"`
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"`
+	Sum    int64   `json:"sum"`
+}
+
+// MetricsSnapshot is a point-in-time copy of a registry, sorted by
+// metric name so two snapshots of identical state marshal to
+// identical bytes. It serializes into replay checkpoints and restores
+// via Registry.Restore.
+type MetricsSnapshot struct {
+	Counters   []MetricValue    `json:"counters,omitempty"`
+	Gauges     []MetricValue    `json:"gauges,omitempty"`
+	Histograms []HistogramValue `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the registry's current state. Values are read
+// atomically per metric; the snapshot is consistent per metric, not
+// across metrics — exact cross-metric consistency only matters at
+// trigger boundaries, where the replay loop is the sole writer.
+func (r *Registry) Snapshot() MetricsSnapshot {
+	var s MetricsSnapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, MetricValue{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, MetricValue{Name: name, Value: g.Value()})
+	}
+	for name, h := range r.histograms {
+		hv := HistogramValue{
+			Name:   name,
+			Bounds: append([]int64(nil), h.bounds...),
+			Counts: make([]int64, len(h.counts)),
+			Sum:    h.sum.Load(),
+		}
+		for i := range h.counts {
+			hv.Counts[i] = h.counts[i].Load()
+		}
+		s.Histograms = append(s.Histograms, hv)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// Restore overwrites the registry's state with a snapshot, creating
+// any metrics that do not exist yet and keeping already-handed-out
+// pointers valid (restore happens in place). It rejects malformed
+// snapshots — a histogram whose Counts length does not match its
+// Bounds, or bounds that disagree with an existing registration —
+// because a corrupt checkpoint must fail loudly, not skew a resumed
+// run's telemetry. Restoring on a nil registry is a no-op.
+func (r *Registry) Restore(s MetricsSnapshot) error {
+	if r == nil {
+		return nil
+	}
+	for _, mv := range s.Counters {
+		r.Counter(mv.Name).set(mv.Value)
+	}
+	for _, mv := range s.Gauges {
+		r.Gauge(mv.Name).Set(mv.Value)
+	}
+	for _, hv := range s.Histograms {
+		if len(hv.Counts) != len(hv.Bounds)+1 {
+			return fmt.Errorf("obs: restore histogram %q: %d counts for %d bounds", hv.Name, len(hv.Counts), len(hv.Bounds))
+		}
+		if len(hv.Bounds) == 0 {
+			return fmt.Errorf("obs: restore histogram %q: no buckets", hv.Name)
+		}
+		r.mu.Lock()
+		h := r.histograms[hv.Name]
+		if h == nil {
+			h = &Histogram{
+				bounds: append([]int64(nil), hv.Bounds...),
+				counts: make([]atomic.Int64, len(hv.Bounds)+1),
+			}
+			r.histograms[hv.Name] = h
+		}
+		r.mu.Unlock()
+		if !equalBounds(h.bounds, hv.Bounds) {
+			return fmt.Errorf("obs: restore histogram %q: bounds mismatch", hv.Name)
+		}
+		for i := range h.counts {
+			h.counts[i].Store(hv.Counts[i])
+		}
+		h.sum.Store(hv.Sum)
+	}
+	return nil
+}
+
+// Equal reports whether two snapshots carry identical state — the
+// checkpoint/resume tests' definition of "bit-identical metrics".
+func (s MetricsSnapshot) Equal(o MetricsSnapshot) bool {
+	if len(s.Counters) != len(o.Counters) || len(s.Gauges) != len(o.Gauges) ||
+		len(s.Histograms) != len(o.Histograms) {
+		return false
+	}
+	for i := range s.Counters {
+		if s.Counters[i] != o.Counters[i] {
+			return false
+		}
+	}
+	for i := range s.Gauges {
+		if s.Gauges[i] != o.Gauges[i] {
+			return false
+		}
+	}
+	for i := range s.Histograms {
+		a, b := s.Histograms[i], o.Histograms[i]
+		if a.Name != b.Name || a.Sum != b.Sum ||
+			!equalBounds(a.Bounds, b.Bounds) || !equalBounds(a.Counts, b.Counts) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if r.Counter("c") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x", 1, 2)
+	c.Inc()
+	c.Add(5)
+	g.Set(5)
+	g.Add(5)
+	h.Observe(5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil metrics recorded values")
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatal("nil registry produced a non-empty snapshot")
+	}
+	if err := r.Restore(MetricsSnapshot{}); err != nil {
+		t.Fatalf("nil restore: %v", err)
+	}
+}
+
+// TestHistogramBucketEdges pins the inclusive-upper-edge convention:
+// a value exactly on a bound lands in that bound's bucket, one past
+// it lands in the next.
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", 0, 10, 100)
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{-5, 0}, // below the first bound
+		{0, 0},  // exactly on the first bound: inclusive
+		{1, 1},
+		{10, 1},  // exactly on an interior bound: inclusive
+		{11, 2},  // one past it: next bucket
+		{100, 2}, // exactly on the last bound
+		{101, 3}, // overflow
+	}
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	want := make([]int64, 4)
+	var sum int64
+	for _, c := range cases {
+		want[c.bucket]++
+		sum += c.v
+	}
+	s := r.Snapshot()
+	if len(s.Histograms) != 1 {
+		t.Fatalf("snapshot has %d histograms, want 1", len(s.Histograms))
+	}
+	hv := s.Histograms[0]
+	if len(hv.Counts) != len(hv.Bounds)+1 {
+		t.Fatalf("counts/bounds length mismatch: %d vs %d", len(hv.Counts), len(hv.Bounds))
+	}
+	for i, w := range want {
+		if hv.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, hv.Counts[i], w, hv.Counts)
+		}
+	}
+	if hv.Sum != sum {
+		t.Errorf("sum = %d, want %d", hv.Sum, sum)
+	}
+	if h.Count() != int64(len(cases)) {
+		t.Errorf("count = %d, want %d", h.Count(), len(cases))
+	}
+}
+
+func TestHistogramInvalidBoundsPanic(t *testing.T) {
+	r := NewRegistry()
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("no buckets", func() { r.Histogram("a") })
+	mustPanic("descending", func() { r.Histogram("b", 2, 1) })
+	mustPanic("duplicate", func() { r.Histogram("c", 1, 1) })
+	r.Histogram("d", 1, 2)
+	mustPanic("bound mismatch on re-register", func() { r.Histogram("d", 1, 3) })
+}
+
+// TestSnapshotVsConcurrentIncrement hammers counters and a histogram
+// from many goroutines while snapshots run concurrently; under -race
+// this proves the registry's synchronization, and the final snapshot
+// must account for every increment exactly once.
+func TestSnapshotVsConcurrentIncrement(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits")
+	h := r.Histogram("sizes", 10, 100)
+	const (
+		workers = 8
+		perW    = 10_000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Snapshot readers racing the writers: every observed value must
+	// be monotone and within range.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last int64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := r.Snapshot()
+				for _, mv := range s.Counters {
+					if mv.Value < last || mv.Value > workers*perW {
+						t.Errorf("snapshot counter %d out of range (last %d)", mv.Value, last)
+						return
+					}
+					last = mv.Value
+				}
+			}
+		}()
+	}
+	var writers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < perW; i++ {
+				c.Inc()
+				h.Observe(int64(i % 200))
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+	if got := c.Value(); got != workers*perW {
+		t.Fatalf("counter = %d, want %d", got, workers*perW)
+	}
+	if got := h.Count(); got != workers*perW {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perW)
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(3)
+	r.Counter("b").Add(9)
+	r.Gauge("g").Set(-4)
+	h := r.Histogram("h", 1, 10)
+	h.Observe(0)
+	h.Observe(5)
+	h.Observe(50)
+
+	snap := r.Snapshot()
+	// The snapshot must survive JSON (it rides inside checkpoints).
+	blob, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded MetricsSnapshot
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Equal(decoded) {
+		t.Fatalf("snapshot changed across JSON:\n%+v\n%+v", snap, decoded)
+	}
+
+	// Restoring into a fresh registry reproduces the state; pointers
+	// handed out before the restore stay live.
+	r2 := NewRegistry()
+	pre := r2.Counter("a")
+	if err := r2.Restore(decoded); err != nil {
+		t.Fatal(err)
+	}
+	if pre.Value() != 3 {
+		t.Fatalf("pre-registered counter after restore = %d, want 3", pre.Value())
+	}
+	if got := r2.Snapshot(); !got.Equal(snap) {
+		t.Fatalf("restored snapshot differs:\n%+v\n%+v", got, snap)
+	}
+
+	// Continuing to record after a restore starts from the restored
+	// values — the resume contract.
+	r2.Counter("a").Inc()
+	if got := r2.Counter("a").Value(); got != 4 {
+		t.Fatalf("counter after restore+inc = %d, want 4", got)
+	}
+}
+
+func TestRestoreRejectsCorruptSnapshots(t *testing.T) {
+	r := NewRegistry()
+	bad := MetricsSnapshot{Histograms: []HistogramValue{{
+		Name: "h", Bounds: []int64{1, 2}, Counts: []int64{0, 0}, // want 3 counts
+	}}}
+	if err := r.Restore(bad); err == nil {
+		t.Fatal("mismatched counts length accepted")
+	}
+	r.Histogram("h2", 1, 2)
+	conflict := MetricsSnapshot{Histograms: []HistogramValue{{
+		Name: "h2", Bounds: []int64{1, 3}, Counts: []int64{0, 0, 0},
+	}}}
+	if err := r.Restore(conflict); err == nil {
+		t.Fatal("conflicting bounds accepted")
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	build := func(names []string) MetricsSnapshot {
+		r := NewRegistry()
+		for _, n := range names {
+			r.Counter(n).Inc()
+		}
+		return r.Snapshot()
+	}
+	a := build([]string{"z", "a", "m"})
+	b := build([]string{"m", "z", "a"})
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatalf("snapshot order depends on registration order:\n%s\n%s", ja, jb)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"activedr/internal/activeness"
+	"activedr/internal/obs"
 	"activedr/internal/profiling"
 	"activedr/internal/timeutil"
 	"activedr/internal/trace"
@@ -54,6 +55,15 @@ type FaultInjector interface {
 // through a run.
 type FaultSink interface {
 	SetFaults(FaultInjector)
+}
+
+// ProbeSink is implemented by policies that accept an observability
+// probe after construction; the emulator uses it to thread one
+// per-run probe through both policies (the FaultSink pattern). All
+// probe calls are nil-safe, so an unprobed policy pays only dead
+// branches at the decision points.
+type ProbeSink interface {
+	SetProbe(*obs.PurgeProbe)
 }
 
 // GroupStats aggregates one activeness group's slice of a purge pass.
@@ -152,6 +162,10 @@ type FLT struct {
 	CollectVictims bool
 	// Faults, when set, injects deletion failures and scan interrupts.
 	Faults FaultInjector
+	// Probe, when set, receives every per-file purge decision
+	// (internal/obs: counters plus the sampled audit stream). Purely
+	// observational: it never changes what gets purged.
+	Probe *obs.PurgeProbe
 	// LegacySelection selects candidates with the pre-index full
 	// namespace walk instead of the incremental atime index. The two
 	// paths are equivalent (selection.go); the knob exists for that
@@ -170,6 +184,9 @@ func (f *FLT) Name() string { return fmt.Sprintf("FLT-%s", f.Lifetime) }
 
 // SetFaults installs a fault injector for subsequent purge passes.
 func (f *FLT) SetFaults(fi FaultInjector) { f.Faults = fi }
+
+// SetProbe installs an observability probe for subsequent passes.
+func (f *FLT) SetProbe(p *obs.PurgeProbe) { f.Probe = p }
 
 // Purge runs one fixed-lifetime purge pass at time tc.
 func (f *FLT) Purge(fsys *vfs.FS, ranks []activeness.Rank, tc timeutil.Time) *Report {
@@ -215,27 +232,32 @@ func (f *FLT) Purge(fsys *vfs.FS, ranks []activeness.Rank, tc timeutil.Time) *Re
 	for merge.len() > 0 {
 		if budget >= 0 && examined >= budget {
 			report.Incomplete = true
+			f.Probe.Interrupted()
 			break
 		}
 		examined++
+		f.Probe.Examined()
 		if f.StopAtTarget && target > 0 && report.PurgedBytes >= target {
 			break
 		}
 		c := merge.pop()
+		g := rankOf(ranks, c.Meta.User).Group()
 		if f.Reserved.Covers(c.Path) {
 			report.SkippedExempt++
+			f.Probe.Exempt(c.Path, int64(c.Meta.User), int(g), 0, c.Meta.Size)
 			continue
 		}
 		if f.Faults != nil && f.Faults.UnlinkFails(c.Path) {
 			report.FailedPurges++
 			report.FailedBytes += c.Meta.Size
+			f.Probe.Failed(c.Path, int64(c.Meta.User), int(g), 0, c.Meta.Size)
 			continue
 		}
 		fsys.Remove(c.Path)
 		if f.CollectVictims {
 			report.Victims = append(report.Victims, c.Path)
 		}
-		g := rankOf(ranks, c.Meta.User).Group()
+		f.Probe.Purged(c.Path, int64(c.Meta.User), int(g), 0, c.Meta.Size)
 		report.PurgedFiles++
 		report.PurgedBytes += c.Meta.Size
 		report.Groups[g].PurgedFiles++
@@ -310,6 +332,10 @@ type Config struct {
 	CollectVictims bool
 	// Faults, when set, injects deletion failures and scan interrupts.
 	Faults FaultInjector
+	// Probe, when set, receives every per-file purge decision
+	// (internal/obs: counters plus the sampled audit stream). Purely
+	// observational: it never changes what gets purged.
+	Probe *obs.PurgeProbe
 	// LegacySelection selects candidates with the pre-index full
 	// namespace walk instead of the incremental atime index. The two
 	// paths are equivalent (selection.go); the knob exists for that
@@ -373,6 +399,9 @@ func (a *ActiveDR) Config() Config { return a.cfg }
 
 // SetFaults installs a fault injector for subsequent purge passes.
 func (a *ActiveDR) SetFaults(fi FaultInjector) { a.cfg.Faults = fi }
+
+// SetProbe installs an observability probe for subsequent passes.
+func (a *ActiveDR) SetProbe(p *obs.PurgeProbe) { a.cfg.Probe = p }
 
 // scanUser is one user's position in the scan sequence.
 type scanUser struct {
@@ -515,24 +544,29 @@ phaseLoop:
 				for _, c := range cands {
 					if budget >= 0 && examined >= budget {
 						report.Incomplete = true
+						a.cfg.Probe.Interrupted()
 						break phaseLoop
 					}
 					examined++
+					a.cfg.Probe.Examined()
 					if a.cfg.Reserved.Covers(c.Path) {
 						if pass == 0 {
 							report.SkippedExempt++
+							a.cfg.Probe.Exempt(c.Path, int64(c.Meta.User), int(g), pass, c.Meta.Size)
 						}
 						continue
 					}
 					if a.cfg.Faults != nil && a.cfg.Faults.UnlinkFails(c.Path) {
 						report.FailedPurges++
 						report.FailedBytes += c.Meta.Size
+						a.cfg.Probe.Failed(c.Path, int64(c.Meta.User), int(g), pass, c.Meta.Size)
 						continue
 					}
 					fsys.Remove(c.Path)
 					if a.cfg.CollectVictims {
 						report.Victims = append(report.Victims, c.Path)
 					}
+					a.cfg.Probe.Purged(c.Path, int64(c.Meta.User), int(g), pass, c.Meta.Size)
 					report.PurgedFiles++
 					report.PurgedBytes += c.Meta.Size
 					report.Groups[g].PurgedFiles++
@@ -598,4 +632,6 @@ var (
 	_ victimCollector = (*ActiveDR)(nil)
 	_ FaultSink       = (*FLT)(nil)
 	_ FaultSink       = (*ActiveDR)(nil)
+	_ ProbeSink       = (*FLT)(nil)
+	_ ProbeSink       = (*ActiveDR)(nil)
 )

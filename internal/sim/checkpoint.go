@@ -31,6 +31,7 @@ import (
 
 	"activedr/internal/activeness"
 	"activedr/internal/faults"
+	"activedr/internal/obs"
 	"activedr/internal/retention"
 	"activedr/internal/timeutil"
 	"activedr/internal/trace"
@@ -72,6 +73,12 @@ type checkpointState struct {
 	HasCaptured   bool                        `json:"has_captured"`
 	NumSnapshots  int                         `json:"num_snapshots"`
 	Faults        *faults.State               `json:"faults,omitempty"`
+	// Metrics is the observability registry's state at this boundary
+	// (omitted when the run is uninstrumented). Resume restores it
+	// bit-identically so counters continue where the original run
+	// left off; per-phase wall-clock times are measurement metadata
+	// and deliberately never checkpointed.
+	Metrics *obs.MetricsSnapshot `json:"metrics,omitempty"`
 }
 
 // checkpointVersion 2 added the selection-path knob to the digest
@@ -148,6 +155,10 @@ func (e *Emulator) saveCheckpoint(opts RunOptions, policy retention.Policy, st *
 	if opts.Faults != nil {
 		fs := opts.Faults.State()
 		cs.Faults = &fs
+	}
+	if reg := opts.Obs.Registry(); reg != nil {
+		snap := reg.Snapshot()
+		cs.Metrics = &snap
 	}
 	blob, err := json.MarshalIndent(&cs, "", " ")
 	if err != nil {
@@ -299,6 +310,17 @@ func (e *Emulator) loadCheckpoint(policy retention.Policy, opts RunOptions) (*ru
 	}
 	if cs.Faults != nil {
 		opts.Faults.Restore(*cs.Faults)
+	}
+	// Metrics restore is best-effort by design: resuming without an
+	// observer (or with an events-only one) just drops the counter
+	// state, since — unlike fault-injector state — it never shapes
+	// the replay. A malformed snapshot still fails the load.
+	if cs.Metrics != nil {
+		if reg := opts.Obs.Registry(); reg != nil {
+			if err := reg.Restore(*cs.Metrics); err != nil {
+				return nil, fmt.Errorf("sim: checkpoint %s: %w", name, err)
+			}
+		}
 	}
 	st := &runState{
 		fsys:        fsys,

@@ -1,0 +1,261 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"activedr/internal/faults"
+	"activedr/internal/obs"
+	"activedr/internal/timeutil"
+)
+
+// observed builds a fully-on observer (registry + events + full audit)
+// writing its event stream into buf.
+func observed(t *testing.T, buf *bytes.Buffer, sample float64) *obs.Observer {
+	t.Helper()
+	o, err := obs.NewObserver(obs.NewRegistry(), obs.NewEventWriter(buf), sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+// TestObservedRunResultUnchanged is half of the acceptance bar: with
+// instrumentation fully enabled (metrics, events, 100% audit), the
+// replay Result must be bit-identical to an uninstrumented run — the
+// observer watches, it never steers. The other half checks the
+// telemetry against the Result it watched.
+func TestObservedRunResultUnchanged(t *testing.T) {
+	ds := tinyDataset()
+	cfg := Config{TargetUtilization: 0.5, SnapshotEvery: timeutil.Days(28)}
+
+	for _, pol := range []string{"flt", "activedr"} {
+		for _, faulty := range []bool{false, true} {
+			newInjector := func() *faults.Injector {
+				if !faulty {
+					return nil
+				}
+				return faults.New(faults.Config{Seed: 7, UnlinkFailProb: 0.2, ScanInterruptProb: 0.2})
+			}
+			em, err := New(ds, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := em.RunWith(policyFor(t, em, pol), RunOptions{Faults: newInjector()})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var events bytes.Buffer
+			o := observed(t, &events, 1)
+			em2, err := New(ds, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := em2.RunWith(policyFor(t, em2, pol), RunOptions{Faults: newInjector(), Obs: o})
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameResult(t, want, got)
+			if err := o.Events().Flush(); err != nil {
+				t.Fatal(err)
+			}
+
+			// The registry agrees with the Result it watched.
+			reg := o.Registry()
+			expect := map[string]int64{
+				obs.MetricAccesses:  got.TotalAccesses,
+				obs.MetricMisses:    got.TotalMisses,
+				obs.MetricMissBytes: got.RestoredBytes,
+				obs.MetricTriggers:  int64(len(got.Reports)),
+				obs.MetricSnapshots: int64(len(got.Snapshots)),
+			}
+			var purged, failed, exempt, interrupted int64
+			for _, rep := range got.Reports {
+				purged += rep.PurgedFiles
+				failed += rep.FailedPurges
+				exempt += rep.SkippedExempt
+				if rep.Incomplete {
+					interrupted++
+				}
+			}
+			expect[obs.MetricPurgedFiles] = purged
+			expect[obs.MetricPurgeFailedFiles] = failed
+			expect[obs.MetricPurgeExempt] = exempt
+			expect[obs.MetricPurgeInterrupted] = interrupted
+			for g, n := range got.MissesByGroup {
+				expect[obs.MetricMissesGroup(g)] = n
+			}
+			for name, v := range expect {
+				if gotV := reg.Counter(name).Value(); gotV != v {
+					t.Errorf("%s/faulty=%t: %s = %d, want %d", pol, faulty, name, gotV, v)
+				}
+			}
+			if faulty {
+				if reg.Counter(obs.MetricFaultUnlinks).Value() != failed {
+					t.Errorf("%s: fault unlink counter %d != failed purges %d",
+						pol, reg.Counter(obs.MetricFaultUnlinks).Value(), failed)
+				}
+			}
+
+			// The event stream: one trigger event per report, one miss
+			// event per miss, purge audit records covering every purge.
+			var trig, miss, auditPurge int64
+			d := obs.NewDecoder(bytes.NewReader(events.Bytes()))
+			for {
+				ev, err := d.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				switch ev := ev.(type) {
+				case *obs.TriggerEvent:
+					rep := got.Reports[trig]
+					trig++
+					if ev.Seq != trig || ev.At != int64(rep.At) || ev.PurgedFiles != rep.PurgedFiles ||
+						ev.PurgedBytes != rep.PurgedBytes || ev.Incomplete != rep.Incomplete {
+						t.Fatalf("%s: trigger event %d diverges from report: %+v vs %+v", pol, trig, ev, rep)
+					}
+				case *obs.MissEvent:
+					miss++
+				case *obs.AuditEvent:
+					if ev.Action == obs.ActionPurge {
+						auditPurge++
+					}
+				}
+			}
+			if trig != int64(len(got.Reports)) {
+				t.Errorf("%s: %d trigger events, want %d", pol, trig, len(got.Reports))
+			}
+			if miss != got.TotalMisses {
+				t.Errorf("%s: %d miss events, want %d", pol, miss, got.TotalMisses)
+			}
+			if auditPurge != purged {
+				t.Errorf("%s: %d purge audit events at sample=1, want %d", pol, auditPurge, purged)
+			}
+
+			// Phase timing accumulated through the profiling seam.
+			phases := o.Phases()
+			seen := map[string]bool{}
+			for _, p := range phases {
+				seen[p.Name] = true
+			}
+			if !seen["replay"] || !seen["purge"] {
+				t.Errorf("%s: phases %v missing replay/purge", pol, phases)
+			}
+		}
+	}
+}
+
+// TestCheckpointResumeRestoresMetrics is the observability half of the
+// kill-and-resume contract: the resumed process (fresh registry, fresh
+// event stream — nothing survives the kill but the checkpoint) must
+// end with a metrics snapshot bit-identical to the uninterrupted
+// instrumented run, and the interrupted + resumed event streams must
+// concatenate to exactly the uninterrupted stream.
+func TestCheckpointResumeRestoresMetrics(t *testing.T) {
+	ds := tinyDataset()
+	cfg := Config{TargetUtilization: 0.5, SnapshotEvery: timeutil.Days(28)}
+	newInjector := func() *faults.Injector {
+		return faults.New(faults.Config{Seed: 123, UnlinkFailProb: 0.2, ScanInterruptProb: 0.3})
+	}
+
+	// Uninterrupted instrumented baseline (checkpointing enabled so
+	// the checkpoint counter cadence matches the resumed runs).
+	var fullEvents bytes.Buffer
+	oFull := observed(t, &fullEvents, 0.5)
+	em, err := New(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := em.RunWith(policyFor(t, em, "activedr"), RunOptions{
+		CheckpointDir: t.TempDir(), Faults: newInjector(), Obs: oFull,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := oFull.Events().Flush(); err != nil {
+		t.Fatal(err)
+	}
+	wantSnap := oFull.Registry().Snapshot()
+
+	for _, stopAt := range []int{1, 7} {
+		dir := t.TempDir()
+		var headEvents bytes.Buffer
+		oHead := observed(t, &headEvents, 0.5)
+		em1, err := New(ds, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := em1.RunWith(policyFor(t, em1, "activedr"), RunOptions{
+			CheckpointDir: dir, Faults: newInjector(), StopAfterTriggers: stopAt, Obs: oHead,
+		}); !errors.Is(err, ErrInterrupted) {
+			t.Fatalf("stop=%d: %v", stopAt, err)
+		}
+		if err := oHead.Events().Flush(); err != nil {
+			t.Fatal(err)
+		}
+
+		// "New process": fresh emulator, registry, and event stream.
+		var tailEvents bytes.Buffer
+		oTail := observed(t, &tailEvents, 0.5)
+		em2, err := New(ds, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := em2.Resume(policyFor(t, em2, "activedr"), RunOptions{
+			CheckpointDir: dir, Faults: newInjector(), Obs: oTail,
+		})
+		if err != nil {
+			t.Fatalf("stop=%d: resume: %v", stopAt, err)
+		}
+		if err := oTail.Events().Flush(); err != nil {
+			t.Fatal(err)
+		}
+		requireSameResult(t, want, got)
+
+		gotSnap := oTail.Registry().Snapshot()
+		if !gotSnap.Equal(wantSnap) {
+			t.Fatalf("stop=%d: resumed metrics snapshot diverges from uninterrupted run", stopAt)
+		}
+
+		joined := append(append([]byte(nil), headEvents.Bytes()...), tailEvents.Bytes()...)
+		if !bytes.Equal(joined, fullEvents.Bytes()) {
+			t.Fatalf("stop=%d: interrupted+resumed event streams (%d+%d bytes) != uninterrupted stream (%d bytes)",
+				stopAt, headEvents.Len(), tailEvents.Len(), fullEvents.Len())
+		}
+	}
+}
+
+// TestResumeWithoutObserverDropsMetrics pins the best-effort contract:
+// a checkpoint carrying metrics can be resumed uninstrumented (the
+// counters are observational, unlike fault state), and the Result is
+// still exact.
+func TestResumeWithoutObserverDropsMetrics(t *testing.T) {
+	ds := tinyDataset()
+	cfg := Config{TargetUtilization: 0.5}
+	em, err := New(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := em.Run(em.NewFLT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	o := observed(t, &bytes.Buffer{}, 0)
+	if _, err := em.RunWith(em.NewFLT(), RunOptions{
+		CheckpointDir: dir, StopAfterTriggers: 3, Obs: o,
+	}); !errors.Is(err, ErrInterrupted) {
+		t.Fatal(err)
+	}
+	got, err := em.Resume(em.NewFLT(), RunOptions{CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, want, got)
+}

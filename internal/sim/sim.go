@@ -17,6 +17,7 @@ import (
 	"activedr/internal/activeness"
 	"activedr/internal/archive"
 	"activedr/internal/faults"
+	"activedr/internal/obs"
 	"activedr/internal/profiling"
 	"activedr/internal/retention"
 	"activedr/internal/timeutil"
@@ -256,6 +257,13 @@ type RunOptions struct {
 	// resume) have fired and been checkpointed — a reproducible kill
 	// for resume tests.
 	StopAfterTriggers int
+	// Obs attaches the observability layer (internal/obs): hot-path
+	// counters, per-trigger and per-miss events, the sampled purge
+	// audit, and per-phase timing. Purely observational — the Result
+	// is bit-identical with or without it — and nil costs nothing.
+	// Checkpoints persist the registry state so a resumed run's
+	// counters continue exactly where the original's left off.
+	Obs *obs.Observer
 }
 
 // ErrInterrupted reports a replay stopped early by
@@ -306,6 +314,107 @@ func (e *Emulator) RunWith(policy retention.Policy, opts RunOptions) (*Result, e
 	return e.replay(policy, opts, e.freshState(policy))
 }
 
+// runObs caches the replay's metric handles so the per-access hot
+// path records through pre-resolved pointers instead of registry
+// lookups. The zero value (observability off) is fully inert: nil
+// counters and histograms discard everything.
+type runObs struct {
+	o         *obs.Observer
+	accesses  *obs.Counter
+	misses    *obs.Counter
+	missBytes *obs.Counter
+	byGroup   [activeness.NumGroups]*obs.Counter
+	triggers  *obs.Counter
+	snaps     *obs.Counter
+	ckpts     *obs.Counter
+	missSize  *obs.Histogram
+	freedPct  *obs.Histogram
+}
+
+func newRunObs(o *obs.Observer) runObs {
+	if o == nil {
+		return runObs{}
+	}
+	reg := o.Registry()
+	ro := runObs{
+		o:         o,
+		accesses:  reg.Counter(obs.MetricAccesses),
+		misses:    reg.Counter(obs.MetricMisses),
+		missBytes: reg.Counter(obs.MetricMissBytes),
+		triggers:  reg.Counter(obs.MetricTriggers),
+		snaps:     reg.Counter(obs.MetricSnapshots),
+		ckpts:     reg.Counter(obs.MetricCheckpoints),
+		missSize:  reg.Histogram(obs.MetricMissSizeBytes, 1<<10, 1<<20, 1<<30, 1<<40),
+		freedPct:  reg.Histogram(obs.MetricTriggerFreed, 0, 25, 50, 75, 90, 99, 100),
+	}
+	for g := range ro.byGroup {
+		ro.byGroup[g] = reg.Counter(obs.MetricMissesGroup(g))
+	}
+	return ro
+}
+
+// noteTrigger derives the per-trigger event from the purge report and
+// the probe's scratch tally, and feeds the freed-of-target histogram.
+// Everything here is a pure function of replay state, so the metrics
+// snapshot stays deterministic and checkpoint-safe.
+func (ro *runObs) noteTrigger(rep *retention.Report, seq int64) {
+	if ro.o == nil {
+		return
+	}
+	if rep.TargetBytes > 0 {
+		ro.freedPct.Observe(rep.PurgedBytes * 100 / rep.TargetBytes)
+	}
+	examined, retroFiles, retroBytes := ro.o.TriggerTally()
+	groups := make([]int64, activeness.NumGroups)
+	for g := range rep.Groups {
+		groups[g] = rep.Groups[g].PurgedFiles
+	}
+	ro.o.EmitTrigger(&obs.TriggerEvent{
+		Kind:          obs.KindTrigger,
+		Policy:        rep.Policy,
+		Seq:           seq,
+		At:            int64(rep.At),
+		Date:          rep.At.DateString(),
+		FilesBefore:   rep.FilesBefore,
+		BytesBefore:   rep.BytesBefore,
+		TargetBytes:   rep.TargetBytes,
+		PurgedFiles:   rep.PurgedFiles,
+		PurgedBytes:   rep.PurgedBytes,
+		FailedFiles:   rep.FailedPurges,
+		FailedBytes:   rep.FailedBytes,
+		Exempt:        rep.SkippedExempt,
+		Examined:      examined,
+		Incomplete:    rep.Incomplete,
+		TargetReached: rep.TargetReached,
+		RetroPasses:   int64(rep.RetroPasses),
+		RetroFiles:    retroFiles,
+		RetroBytes:    retroBytes,
+		PurgedByGroup: groups,
+		AffectedUsers: int64(len(rep.AffectedIDs)),
+	})
+}
+
+// noteMiss records one file miss on the counters and the event
+// stream.
+func (ro *runObs) noteMiss(policy string, a *trace.Access, g activeness.Group) {
+	ro.misses.Inc()
+	ro.byGroup[g].Inc()
+	ro.missBytes.Add(a.Size)
+	ro.missSize.Observe(a.Size)
+	if ro.o != nil {
+		ro.o.EmitMiss(&obs.MissEvent{
+			Kind:   obs.KindMiss,
+			Policy: policy,
+			At:     int64(a.TS),
+			Date:   a.TS.DateString(),
+			User:   int64(a.User),
+			Group:  int64(g),
+			Path:   a.Path,
+			Bytes:  a.Size,
+		})
+	}
+}
+
 // replay drives the access loop from st to the end of the log (or an
 // interruption point).
 func (e *Emulator) replay(policy retention.Policy, opts RunOptions, st *runState) (*Result, error) {
@@ -314,6 +423,18 @@ func (e *Emulator) replay(policy retention.Policy, opts RunOptions, st *runState
 		if sink, ok := policy.(retention.FaultSink); ok {
 			sink.SetFaults(opts.Faults)
 		}
+	}
+	ro := newRunObs(opts.Obs)
+	if opts.Obs != nil {
+		if sink, ok := policy.(retention.ProbeSink); ok {
+			sink.SetProbe(opts.Obs.Probe())
+		}
+		st.fsys.SetProbe(opts.Obs.VFSProbe())
+		if opts.Faults != nil {
+			opts.Faults.SetMetrics(opts.Obs.FaultMetrics())
+		}
+		stopReplay := opts.Obs.StartPhase("replay")
+		defer stopReplay()
 	}
 	t0 := e.ds.Snapshot.Taken
 	res := st.res
@@ -339,10 +460,20 @@ func (e *Emulator) replay(policy retention.Policy, opts RunOptions, st *runState
 			res.Captured = st.fsys.Clone()
 			st.captured = true
 		}
-		res.Reports = append(res.Reports, policy.Purge(st.fsys, st.ranks, at))
+		seq := int64(st.triggers) + 1 // 1-based, stable across resumes
+		opts.Obs.BeginTrigger(policy.Name(), seq)
+		stopPurge := opts.Obs.StartPhase("purge")
+		rep := policy.Purge(st.fsys, st.ranks, at)
+		stopPurge()
+		res.Reports = append(res.Reports, rep)
+		ro.triggers.Inc()
+		ro.noteTrigger(rep, seq)
 		if e.cfg.SnapshotEvery > 0 && (st.lastSnap == 0 || at.Sub(st.lastSnap) >= e.cfg.SnapshotEvery) {
+			stopSnap := opts.Obs.StartPhase("snapshot")
 			res.Snapshots = append(res.Snapshots, st.fsys.Snapshot(at))
+			stopSnap()
 			st.lastSnap = at
+			ro.snaps.Inc()
 		}
 		st.triggers++
 	}
@@ -361,7 +492,14 @@ func (e *Emulator) replay(policy retention.Policy, opts RunOptions, st *runState
 			trigger(at)
 			st.nextTrigger = at.Add(e.cfg.TriggerInterval)
 			if opts.CheckpointDir != "" && st.triggers%every == 0 {
-				if err := e.saveCheckpoint(opts, policy, st, at); err != nil {
+				// The counter increments before the save so the persisted
+				// snapshot counts the checkpoint that carries it; resumed
+				// and uninterrupted runs then agree on the final value.
+				ro.ckpts.Inc()
+				stopCkpt := opts.Obs.StartPhase("checkpoint")
+				err := e.saveCheckpoint(opts, policy, st, at)
+				stopCkpt()
+				if err != nil {
 					return nil, err
 				}
 			}
@@ -375,6 +513,7 @@ func (e *Emulator) replay(policy retention.Policy, opts RunOptions, st *runState
 		ds.Accesses++
 		ds.ByGroup[g].Accesses++
 		res.TotalAccesses++
+		ro.accesses.Inc()
 		switch {
 		case a.Create:
 			// Fresh output: insert, no miss possible.
@@ -390,6 +529,7 @@ func (e *Emulator) replay(policy retention.Policy, opts RunOptions, st *runState
 			res.MissesByGroup[g]++
 			res.RestoredFiles++
 			res.RestoredBytes += a.Size
+			ro.noteMiss(res.Policy, a, g)
 			insert(st.fsys, a)
 		}
 		st.cursor++

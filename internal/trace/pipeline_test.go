@@ -472,3 +472,111 @@ func TestWriteDatasetParallelMatchesSequential(t *testing.T) {
 		}
 	}
 }
+
+// truncateGzip cuts a gzipped trace file to half its compressed
+// length: a strict read of it fails at close (unexpected EOF), a
+// lenient read salvages the prefix and sets ParseReport.Truncated.
+func truncateGzip(t *testing.T, path string) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFanOutErrorPriority pins the concurrent fan-out's first-error-
+// in-canonical-order rule when two files fail for different reasons in
+// the same load. The fatal error of the canonically earlier file must
+// win — on both paths, with identical text and identically truncated
+// reports — regardless of which error class (MaxErrors cap vs a
+// failed close on a cut-short gzip member) hits which file, and a
+// fatal error on a later file must not erase an earlier file's
+// non-fatal salvage report.
+func TestFanOutErrorPriority(t *testing.T) {
+	t.Run("MaxErrorsBeforeTruncation", func(t *testing.T) {
+		// jobs trips the quarantine cap; accesses (canonically later)
+		// is cut short. The cap error wins, the accesses report is
+		// dropped exactly where a sequential stop-at-first-error read
+		// would have left it.
+		dir := t.TempDir()
+		if err := WriteDataset(dir, sampleDataset()); err != nil {
+			t.Fatal(err)
+		}
+		rewriteTrace(t, filepath.Join(dir, JobsFile), func(lines []string) []string {
+			for i := 0; i < 20; i++ {
+				lines = append(lines, fmt.Sprintf("garbage-%d", i))
+			}
+			return lines
+		})
+		truncateGzip(t, filepath.Join(dir, AccessesFile))
+		_, rep, err := loadBoth(t, dir, ReadOptions{Lenient: true, MaxErrors: 5})
+		if err == nil {
+			t.Fatal("load survived past MaxErrors")
+		}
+		if !strings.Contains(err.Error(), JobsFile) || !strings.Contains(err.Error(), "more than 5 malformed lines") {
+			t.Fatalf("err = %v, want the jobs quarantine-cap error", err)
+		}
+		last := rep.Reports[len(rep.Reports)-1]
+		if last.File != JobsFile {
+			t.Fatalf("reports end at %s, want %s (later files' reports dropped)", last.File, JobsFile)
+		}
+	})
+
+	t.Run("TruncationBeforeParseError", func(t *testing.T) {
+		// Strict mode: jobs fails at close (cut-short gzip), accesses
+		// holds a malformed line that also aborts. The close failure of
+		// the canonically earlier file is the one reported.
+		dir := t.TempDir()
+		if err := WriteDataset(dir, sampleDataset()); err != nil {
+			t.Fatal(err)
+		}
+		truncateGzip(t, filepath.Join(dir, JobsFile))
+		rewriteTrace(t, filepath.Join(dir, AccessesFile), func(lines []string) []string {
+			return append(lines, "garbage")
+		})
+		_, _, err := loadBoth(t, dir, ReadOptions{})
+		if err == nil {
+			t.Fatal("strict load accepted two damaged files")
+		}
+		if strings.Contains(err.Error(), AccessesFile) {
+			t.Fatalf("err = %v, want the jobs close failure, not the later accesses parse error", err)
+		}
+	})
+
+	t.Run("LaterFatalKeepsEarlierSalvage", func(t *testing.T) {
+		// Lenient mode: accesses is cut short (salvaged, non-fatal),
+		// publications (canonically later) trips the cap. The fatal cap
+		// error surfaces, and the accesses salvage report survives in
+		// front of it with its Truncated flag intact.
+		dir := t.TempDir()
+		if err := WriteDataset(dir, sampleDataset()); err != nil {
+			t.Fatal(err)
+		}
+		truncateGzip(t, filepath.Join(dir, AccessesFile))
+		rewriteTrace(t, filepath.Join(dir, PubsFile), func(lines []string) []string {
+			for i := 0; i < 20; i++ {
+				lines = append(lines, fmt.Sprintf("garbage-%d", i))
+			}
+			return lines
+		})
+		_, rep, err := loadBoth(t, dir, ReadOptions{Lenient: true, MaxErrors: 5})
+		if err == nil {
+			t.Fatal("load survived past MaxErrors")
+		}
+		if !strings.Contains(err.Error(), PubsFile) {
+			t.Fatalf("err = %v, want the publications quarantine-cap error", err)
+		}
+		var accRep *ParseReport
+		for _, r := range rep.Reports {
+			if r.File == AccessesFile {
+				accRep = r
+			}
+		}
+		if accRep == nil || !accRep.Truncated {
+			t.Fatalf("accesses salvage report lost or unflagged: %+v", accRep)
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"slices"
 	"sort"
 
+	"activedr/internal/obs"
 	"activedr/internal/timeutil"
 	"activedr/internal/trace"
 )
@@ -101,7 +102,16 @@ type FS struct {
 	userFiles map[trace.UserID]int64
 	index     map[trace.UserID]*userIndex
 	scratch   []liveEntry // reused across StaleFiles bucket compactions
+	// probe holds the optional hot-path observability counters. The
+	// zero value is fully inert (nil counters discard increments), so
+	// an unobserved FS pays one predictable branch per operation.
+	probe obs.VFSProbe
 }
+
+// SetProbe installs observability counters for this FS's mutating hot
+// paths. Clones do not inherit the probe: captured states and planner
+// copies stay unobserved so instrumentation never double-counts.
+func (f *FS) SetProbe(p obs.VFSProbe) { f.probe = p }
 
 // New returns an empty FS.
 func New() *FS {
@@ -155,6 +165,7 @@ func (f *FS) Insert(path string, m FileMeta) error {
 	if !existed || prev.meta.User != m.User || prev.meta.ATime != m.ATime {
 		f.indexAdd(m.User, path, m.ATime)
 	}
+	f.probe.Inserts.Inc()
 	return nil
 }
 
@@ -175,8 +186,10 @@ func (f *FS) Contains(path string) bool {
 func (f *FS) Touch(path string, at timeutil.Time) bool {
 	n := f.tree.findNode(path)
 	if n == nil || !n.terminal {
+		f.probe.TouchMisses.Inc()
 		return false
 	}
+	f.probe.Touches.Inc()
 	if n.value.meta.ATime == at {
 		return true // no atime change: the index entry stays valid
 	}
@@ -201,6 +214,7 @@ func (f *FS) Remove(path string) (FileMeta, bool) {
 		delete(f.userFiles, m.User)
 		delete(f.userBytes, m.User)
 	}
+	f.probe.Removes.Inc()
 	return m, true
 }
 
@@ -261,6 +275,7 @@ func (f *FS) StaleFiles(u trace.UserID, cutoff timeutil.Time) []Candidate {
 // re-touched files) are dropped and the bucket is left sorted, so the
 // index footprint stays proportional to the live file count.
 func (f *FS) AppendStaleFiles(dst []Candidate, u trace.UserID, cutoff timeutil.Time) []Candidate {
+	f.probe.StaleQueries.Inc()
 	ui := f.index[u]
 	if ui == nil {
 		return dst
