@@ -64,6 +64,7 @@ type options struct {
 	faultRead  float64
 	faultSeed  uint64
 	faultClear int
+	faultKill  string
 
 	ckptDir   string
 	ckptEvery int
@@ -98,6 +99,7 @@ func parseFlags(args []string, errOut io.Writer) (*options, error) {
 	fs.Float64Var(&o.faultRead, "fault-read", 0, "per-attempt transient dataset-read failure probability (retried with backoff)")
 	fs.Uint64Var(&o.faultSeed, "fault-seed", 1, "fault injector seed")
 	fs.IntVar(&o.faultClear, "fault-clear", 0, "days into the replay after which purge faults clear (0 = never)")
+	fs.StringVar(&o.faultKill, "fault-kill", "", "kill the replay at a named kill point, name:N (e.g. "+faults.KillSimCheckpointPublished+":2); requires -checkpoint-dir")
 
 	fs.StringVar(&o.ckptDir, "checkpoint-dir", "", "persist resumable checkpoints under this directory (one subdirectory per policy)")
 	fs.IntVar(&o.ckptEvery, "checkpoint-every", 1, "checkpoint once every N purge triggers")
@@ -141,6 +143,14 @@ func (o *options) validate() error {
 	}
 	if o.faultClear < 0 {
 		return fmt.Errorf("-fault-clear must be >= 0 days, got %d", o.faultClear)
+	}
+	if o.faultKill != "" {
+		if _, _, err := faults.ParseKillSpec(o.faultKill); err != nil {
+			return fmt.Errorf("-fault-kill: %w", err)
+		}
+		if o.ckptDir == "" {
+			return errors.New("-fault-kill requires -checkpoint-dir (a kill without a checkpoint leaves nothing to resume)")
+		}
 	}
 	if o.ckptEvery < 1 {
 		return fmt.Errorf("-checkpoint-every must be >= 1, got %d", o.ckptEvery)
@@ -212,6 +222,7 @@ func run(o *options, out io.Writer) (err error) {
 		Seed:              o.faultSeed,
 		UnlinkFailProb:    o.faultProb,
 		ScanInterruptProb: o.faultProb,
+		KillSpec:          o.faultKill,
 	}
 	if o.faultClear > 0 {
 		faultCfg.ClearAfter = ds.Snapshot.Taken.Add(timeutil.Days(o.faultClear))
@@ -251,8 +262,14 @@ func run(o *options, out io.Writer) (err error) {
 		if o.ckptDir != "" {
 			opts.CheckpointDir = filepath.Join(o.ckptDir, name)
 		}
-		if o.faultProb > 0 {
-			opts.Faults = faults.New(faultCfg)
+		if o.faultProb > 0 || o.faultKill != "" {
+			cfg := faultCfg
+			if o.resume && sim.HasCheckpoint(opts.CheckpointDir) {
+				// A checkpoint predates its kill's fatal hit; resuming
+				// with the spec intact would just die at the same spot.
+				cfg.KillSpec = ""
+			}
+			opts.Faults = faults.New(cfg)
 		}
 		var reg *obs.Registry
 		if instrumented {
@@ -283,6 +300,10 @@ func run(o *options, out io.Writer) (err error) {
 			}
 		} else {
 			res, err = em.RunWith(policy, opts)
+		}
+		if errors.Is(err, sim.ErrInterrupted) {
+			fmt.Fprintf(out, "%-14s killed at %s after %d triggers; rerun with -resume to recover from %s\n",
+				name, o.faultKill, len(res.Reports), opts.CheckpointDir)
 		}
 		return res, err
 	}

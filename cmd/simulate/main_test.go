@@ -39,6 +39,10 @@ func TestParseFlagsValidation(t *testing.T) {
 		{"negative fault clear", []string{"-fault-clear", "-1"}, "-fault-clear must be >= 0"},
 		{"zero checkpoint every", []string{"-checkpoint-every", "0"}, "-checkpoint-every must be >= 1"},
 		{"resume without dir", []string{"-resume"}, "-resume requires -checkpoint-dir"},
+		{"kill with checkpoints", []string{"-checkpoint-dir", "ck", "-fault-kill", "sim.checkpoint.published:2"}, ""},
+		{"kill without dir", []string{"-fault-kill", "sim.checkpoint.published:2"}, "-fault-kill requires -checkpoint-dir"},
+		{"malformed kill spec", []string{"-checkpoint-dir", "ck", "-fault-kill", "nohit"}, "-fault-kill:"},
+		{"zero-hit kill spec", []string{"-checkpoint-dir", "ck", "-fault-kill", "x:0"}, "-fault-kill:"},
 		{"sample above one", []string{"-events-out", "e", "-audit-sample", "1.01"}, "-audit-sample must be in [0,1]"},
 		{"negative sample", []string{"-events-out", "e", "-audit-sample", "-0.2"}, "-audit-sample must be in [0,1]"},
 		{"NaN sample", []string{"-events-out", "e", "-audit-sample", "NaN"}, "-audit-sample must be in [0,1]"},

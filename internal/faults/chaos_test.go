@@ -1,0 +1,169 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestWriteAttemptDiskFull(t *testing.T) {
+	in := New(Config{Seed: 1, DiskFullAfterBytes: 100})
+	if err := in.WriteAttempt(60); err != nil {
+		t.Fatalf("first write within budget failed: %v", err)
+	}
+	if err := in.WriteAttempt(40); err != nil {
+		t.Fatalf("write exactly filling the budget failed: %v", err)
+	}
+	err := in.WriteAttempt(1)
+	if !IsDiskFull(err) {
+		t.Fatalf("over-budget write = %v, want disk-full", err)
+	}
+	if IsTransient(err) {
+		t.Fatal("disk-full must be permanent, not transient")
+	}
+	// Disk-full does not consume the byte budget: a later, smaller
+	// reclaim-then-write scenario is not skewed (and State stays
+	// checkpoint-stable across rejected writes).
+	if in.State().WrittenBytes != 100 {
+		t.Fatalf("rejected write accounted: %d bytes", in.State().WrittenBytes)
+	}
+}
+
+func TestWriteAttemptTransient(t *testing.T) {
+	in := New(Config{Seed: 2, WriteFailProb: 1})
+	err := in.WriteAttempt(10)
+	if !IsTransient(err) {
+		t.Fatalf("WriteAttempt = %v, want transient", err)
+	}
+	if in.State().WriteFailures != 1 {
+		t.Fatalf("write failures = %d, want 1", in.State().WriteFailures)
+	}
+}
+
+func TestTornWriteDeterminism(t *testing.T) {
+	a := New(Config{Seed: 7, TornWriteProb: 0.5})
+	b := New(Config{Seed: 7, TornWriteProb: 0.5})
+	torns := 0
+	for i := 0; i < 200; i++ {
+		ka, ta := a.TornWrite(64)
+		kb, tb := b.TornWrite(64)
+		if ka != kb || ta != tb {
+			t.Fatalf("draw %d diverged: (%d,%t) vs (%d,%t)", i, ka, ta, kb, tb)
+		}
+		if ta {
+			torns++
+			if ka < 0 || ka >= 64 {
+				t.Fatalf("torn keep %d outside [0,64)", ka)
+			}
+		} else if ka != 64 {
+			t.Fatalf("untorn write kept %d of 64", ka)
+		}
+	}
+	if torns == 0 || torns == 200 {
+		t.Fatalf("torn count %d/200 not probabilistic", torns)
+	}
+}
+
+func TestShouldKillFiresOnNthHitOnly(t *testing.T) {
+	in := New(Config{Seed: 1, KillSpec: "daemon.wal.synced:3"})
+	if in.ShouldKill("daemon.apply.event") {
+		t.Fatal("unnamed kill point fired")
+	}
+	for i := 1; i <= 5; i++ {
+		got := in.ShouldKill("daemon.wal.synced")
+		if got != (i == 3) {
+			t.Fatalf("hit %d: ShouldKill = %t", i, got)
+		}
+	}
+	// Other points never advance the counter.
+	if in.State().KillHits != 5 {
+		t.Fatalf("kill hits = %d, want 5", in.State().KillHits)
+	}
+}
+
+func TestParseKillSpec(t *testing.T) {
+	name, hit, err := ParseKillSpec("daemon.checkpoint.publish:12")
+	if err != nil || name != "daemon.checkpoint.publish" || hit != 12 {
+		t.Fatalf("ParseKillSpec = %q,%d,%v", name, hit, err)
+	}
+	for _, bad := range []string{"", "noname", ":3", "x:", "x:0", "x:-1", "x:abc"} {
+		if _, _, err := ParseKillSpec(bad); err == nil {
+			t.Errorf("ParseKillSpec(%q) accepted", bad)
+		}
+	}
+	if err := (Config{KillSpec: "x:0"}).Validate(); err == nil {
+		t.Error("Validate accepted bad kill spec")
+	}
+	if err := (Config{DiskFullAfterBytes: -1}).Validate(); err == nil {
+		t.Error("Validate accepted negative disk-full budget")
+	}
+	if err := (Config{TornWriteProb: 1.5}).Validate(); err == nil {
+		t.Error("Validate accepted torn-write probability > 1")
+	}
+}
+
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	mk := func() *Backoff { return NewBackoff(9, 10*time.Millisecond, 500*time.Millisecond) }
+	a, b := mk(), mk()
+	prevCap := 10 * time.Millisecond
+	for attempt := 0; attempt < 10; attempt++ {
+		da, db := a.Delay(attempt), b.Delay(attempt)
+		if da != db {
+			t.Fatalf("attempt %d: %v vs %v", attempt, da, db)
+		}
+		if da < prevCap/2 || da >= 500*time.Millisecond {
+			// jitter scales the doubled base by [0.5, 1)
+			if da >= 500*time.Millisecond {
+				t.Fatalf("attempt %d: delay %v at or above max", attempt, da)
+			}
+		}
+		if prevCap < 500*time.Millisecond {
+			prevCap *= 2
+		}
+	}
+}
+
+func TestRetryBackoff(t *testing.T) {
+	b := NewBackoff(3, time.Millisecond, 8*time.Millisecond)
+	var slept []time.Duration
+	sleep := func(d time.Duration) { slept = append(slept, d) }
+
+	calls := 0
+	err := RetryBackoff(5, b, sleep, func() error {
+		calls++
+		if calls < 3 {
+			return ErrTransient
+		}
+		return nil
+	})
+	if err != nil || calls != 3 || len(slept) != 2 {
+		t.Fatalf("RetryBackoff: err=%v calls=%d sleeps=%d", err, calls, len(slept))
+	}
+
+	// Permanent errors short-circuit.
+	perm := errors.New("boom")
+	calls = 0
+	if err := RetryBackoff(5, b, sleep, func() error { calls++; return perm }); !errors.Is(err, perm) || calls != 1 {
+		t.Fatalf("permanent retried: err=%v calls=%d", err, calls)
+	}
+
+	// Disk-full is permanent too.
+	in := New(Config{Seed: 4, DiskFullAfterBytes: 1})
+	calls = 0
+	err = RetryBackoff(5, b, sleep, func() error { calls++; return in.WriteAttempt(10) })
+	if !IsDiskFull(err) || calls != 1 {
+		t.Fatalf("disk-full retried: err=%v calls=%d", err, calls)
+	}
+}
+
+func TestKillStateSurvivesRestore(t *testing.T) {
+	in := New(Config{Seed: 1, KillSpec: "p:2"})
+	in.ShouldKill("p") // hit 1
+	st := in.State()
+
+	in2 := New(Config{Seed: 1, KillSpec: "p:2"})
+	in2.Restore(st)
+	if !in2.ShouldKill("p") {
+		t.Fatal("restored injector lost its kill-hit position")
+	}
+}

@@ -16,6 +16,8 @@ package faults
 import (
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 
 	"activedr/internal/obs"
@@ -39,6 +41,28 @@ type Config struct {
 	// ReadFailProb is the per-attempt probability that a trace read
 	// fails transiently (see ReadAttempt and Retry).
 	ReadFailProb float64
+	// WriteFailProb is the per-attempt probability that a durable
+	// write fails transiently (see WriteAttempt); transient write
+	// failures are retried with backoff by the WAL layer.
+	WriteFailProb float64
+	// DiskFullAfterBytes, when positive, makes every write attempt
+	// fail with ErrDiskFull — a permanent, non-retryable error — once
+	// the injector has admitted that many bytes. This is the
+	// disk-pressure fault that drives a daemon into degraded
+	// read-only mode.
+	DiskFullAfterBytes int64
+	// TornWriteProb is the per-write probability that only a
+	// deterministic prefix of the buffer reaches the disk — the
+	// classic torn write a crash mid-write leaves behind. The WAL
+	// open path must truncate the resulting tail.
+	TornWriteProb float64
+	// KillSpec names a crash rehearsal point as "name:N": the Nth
+	// time the named kill point is consulted, ShouldKill reports
+	// true and the host simulates a process death there. Empty
+	// disables the class. Kill-point names are defined by the
+	// packages that embed them (e.g. KillSimCheckpointPublished,
+	// and the daemon's wal/apply/recover points).
+	KillSpec string
 	// ClearAfter, when non-zero, stops all purge-time faults at
 	// triggers at or after this time — the "faults clear" point after
 	// which policies must converge back to their target.
@@ -54,12 +78,36 @@ func (c Config) Validate() error {
 		{"unlink-fail", c.UnlinkFailProb},
 		{"scan-interrupt", c.ScanInterruptProb},
 		{"read-fail", c.ReadFailProb},
+		{"write-fail", c.WriteFailProb},
+		{"torn-write", c.TornWriteProb},
 	} {
 		if p.v < 0 || p.v > 1 {
 			return fmt.Errorf("faults: %s probability %v outside [0,1]", p.name, p.v)
 		}
 	}
+	if c.DiskFullAfterBytes < 0 {
+		return fmt.Errorf("faults: negative disk-full byte budget %d", c.DiskFullAfterBytes)
+	}
+	if c.KillSpec != "" {
+		if _, _, err := ParseKillSpec(c.KillSpec); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// ParseKillSpec splits a "name:N" kill-point spec into the point name
+// and the 1-based hit count at which it fires.
+func ParseKillSpec(spec string) (name string, hit int64, err error) {
+	i := strings.LastIndexByte(spec, ':')
+	if i <= 0 || i == len(spec)-1 {
+		return "", 0, fmt.Errorf("faults: kill spec %q is not name:N", spec)
+	}
+	n, err := strconv.ParseInt(spec[i+1:], 10, 64)
+	if err != nil || n < 1 {
+		return "", 0, fmt.Errorf("faults: kill spec %q wants a positive hit count", spec)
+	}
+	return spec[:i], n, nil
 }
 
 // State is an Injector's serializable stream position and counters,
@@ -69,16 +117,22 @@ type State struct {
 	UnlinkFailures   int64  `json:"unlink_failures"`
 	InterruptedScans int64  `json:"interrupted_scans"`
 	ReadFailures     int64  `json:"read_failures"`
+	WriteFailures    int64  `json:"write_failures,omitempty"`
+	WrittenBytes     int64  `json:"written_bytes,omitempty"`
+	TornWrites       int64  `json:"torn_writes,omitempty"`
+	KillHits         int64  `json:"kill_hits,omitempty"`
 }
 
 // Injector makes deterministic fault decisions. It implements the
 // retention package's FaultInjector interface. Not safe for concurrent
 // use: the purge scan that consults it is single-threaded.
 type Injector struct {
-	cfg Config
-	src *randx.Source
-	at  timeutil.Time // current trigger time, set by BeginScan
-	st  State         // counters (Rand filled on State())
+	cfg      Config
+	src      *randx.Source
+	at       timeutil.Time // current trigger time, set by BeginScan
+	st       State         // counters (Rand filled on State())
+	killName string        // parsed Config.KillSpec
+	killHit  int64
 	// m mirrors the counters into the observability registry when
 	// set. The zero value discards increments; restoring checkpointed
 	// metrics happens at the registry layer, never here, so the two
@@ -96,7 +150,11 @@ func New(cfg Config) *Injector {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Injector{cfg: cfg, src: randx.New(cfg.Seed)}
+	in := &Injector{cfg: cfg, src: randx.New(cfg.Seed)}
+	if cfg.KillSpec != "" {
+		in.killName, in.killHit, _ = ParseKillSpec(cfg.KillSpec)
+	}
+	return in
 }
 
 // Config returns the injector's configuration.
@@ -163,6 +221,67 @@ func (in *Injector) ReadAttempt() error {
 	return nil
 }
 
+// ErrDiskFull marks an injected disk-full failure. It is permanent:
+// retrying does not help until space is reclaimed, so callers must
+// degrade (stop accepting writes) rather than spin.
+var ErrDiskFull = errors.New("faults: injected disk-full error")
+
+// IsDiskFull reports whether err is (or wraps) an injected disk-full
+// failure.
+func IsDiskFull(err error) bool { return errors.Is(err, ErrDiskFull) }
+
+// WriteAttempt simulates one durable-write attempt of n bytes. It
+// returns ErrDiskFull once the configured byte budget is exhausted
+// (permanent), a transient error with probability WriteFailProb
+// (retryable), or nil after accounting the bytes as written.
+func (in *Injector) WriteAttempt(n int) error {
+	if in.cfg.DiskFullAfterBytes > 0 && in.st.WrittenBytes+int64(n) > in.cfg.DiskFullAfterBytes {
+		return fmt.Errorf("write of %d bytes over budget %d: %w", n, in.cfg.DiskFullAfterBytes, ErrDiskFull)
+	}
+	if in.cfg.WriteFailProb > 0 && in.src.Bool(in.cfg.WriteFailProb) {
+		in.st.WriteFailures++
+		in.m.WriteFailures.Inc()
+		return fmt.Errorf("write attempt %d: %w", in.st.WriteFailures, ErrTransient)
+	}
+	in.st.WrittenBytes += int64(n)
+	return nil
+}
+
+// TornWrite decides whether a write of n bytes is torn — cut short as
+// a crash mid-write would leave it — and if so, how many bytes
+// actually reach the disk. The kept prefix is drawn uniformly from
+// [0, n), so record headers, checksums, and payloads all get sliced.
+func (in *Injector) TornWrite(n int) (keep int, torn bool) {
+	if in.cfg.TornWriteProb <= 0 || n <= 0 {
+		return n, false
+	}
+	if !in.src.Bool(in.cfg.TornWriteProb) {
+		return n, false
+	}
+	in.st.TornWrites++
+	in.m.TornWrites.Inc()
+	return int(in.src.Int64n(int64(n))), true
+}
+
+// KillSimCheckpointPublished is the kill point the replay emulator
+// consults right after publishing a checkpoint: a kill there aborts
+// the run with sim.ErrInterrupted, the reproducible crash a -resume
+// run then recovers from (cmd/simulate -fault-kill).
+const KillSimCheckpointPublished = "sim.checkpoint.published"
+
+// ShouldKill reports whether the named kill point fires on this hit.
+// A kill point models a process death at a precise code location; the
+// host is expected to abandon all in-memory state there (and tests
+// then rehearse recovery). Only the configured point counts hits, so
+// one spec addresses one location deterministically.
+func (in *Injector) ShouldKill(name string) bool {
+	if in.killName != name {
+		return false
+	}
+	in.st.KillHits++
+	return in.st.KillHits == in.killHit
+}
+
 // State captures the injector's stream position and counters for a
 // checkpoint.
 func (in *Injector) State() State {
@@ -175,6 +294,61 @@ func (in *Injector) State() State {
 func (in *Injector) Restore(st State) {
 	in.src.Restore(st.Rand)
 	in.st = st
+}
+
+// Backoff computes deterministic jittered exponential backoff delays:
+// Base doubled per attempt, capped at Max, scaled by a jitter factor
+// in [0.5, 1) drawn from a seeded randx.Source. Two Backoffs with the
+// same seed produce the same delay sequence, so a replayed failure
+// schedule waits the same simulated time — "full jitter" without the
+// global randomness the replay invariants ban.
+type Backoff struct {
+	base time.Duration
+	max  time.Duration
+	src  *randx.Source
+}
+
+// NewBackoff builds a deterministic backoff schedule. It panics on
+// non-positive durations (programmer input, not data).
+func NewBackoff(seed uint64, base, max time.Duration) *Backoff {
+	if base <= 0 || max < base {
+		panic(fmt.Sprintf("faults: backoff base %v / max %v", base, max))
+	}
+	return &Backoff{base: base, max: max, src: randx.New(seed)}
+}
+
+// Delay returns the wait before retry attempt (0-based first retry).
+func (b *Backoff) Delay(attempt int) time.Duration {
+	d := b.base
+	for i := 0; i < attempt && d < b.max; i++ {
+		d *= 2
+	}
+	if d > b.max {
+		d = b.max
+	}
+	jitter := 0.5 + 0.5*b.src.Float64()
+	return time.Duration(float64(d) * jitter)
+}
+
+// RetryBackoff runs fn up to attempts times, waiting b.Delay between
+// tries via the provided sleep function (injectable so tests and the
+// daemon's drain path can skip real waiting). Only transient errors
+// are retried; permanent errors and success return immediately.
+func RetryBackoff(attempts int, b *Backoff, sleep func(time.Duration), fn func() error) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 && sleep != nil {
+			sleep(b.Delay(i - 1))
+		}
+		err = fn()
+		if err == nil || !IsTransient(err) {
+			return err
+		}
+	}
+	return fmt.Errorf("faults: gave up after %d attempts: %w", attempts, err)
 }
 
 // Retry runs fn up to attempts times, sleeping backoff (doubled after

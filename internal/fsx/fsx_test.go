@@ -1,0 +1,74 @@
+package fsx
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileAtomicReplacesContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "LATEST")
+	for _, want := range []string{"t000001\n", "t000002\n", ""} {
+		if err := WriteFileAtomic(path, []byte(want), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != want {
+			t.Fatalf("content = %q, want %q", got, want)
+		}
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+}
+
+// TestWriteFileAtomicIssuesDurabilityBarriers proves both fsyncs are
+// in the write path: one on the temp file before the rename, one on
+// the parent directory after it. Without the first, a crash can
+// publish a name pointing at unwritten data; without the second, the
+// rename itself can be rolled back and resurrect the old content.
+func TestWriteFileAtomicIssuesDurabilityBarriers(t *testing.T) {
+	dir := t.TempDir()
+	before := SyncCount()
+	if err := WriteFileAtomic(filepath.Join(dir, "f"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if n := SyncCount() - before; n < 2 {
+		t.Fatalf("WriteFileAtomic issued %d fsyncs, want >= 2 (file + parent dir)", n)
+	}
+}
+
+func TestRenameDurableSyncsTargetDir(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "ck.tmp")
+	dst := filepath.Join(dir, "ck")
+	if err := os.MkdirAll(src, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	before := SyncCount()
+	if err := RenameDurable(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	if n := SyncCount() - before; n < 1 {
+		t.Fatalf("RenameDurable issued %d fsyncs, want >= 1 (parent dir)", n)
+	}
+	if fi, err := os.Stat(dst); err != nil || !fi.IsDir() {
+		t.Fatalf("rename target missing: %v", err)
+	}
+}
+
+func TestSyncDirMissing(t *testing.T) {
+	if err := SyncDir(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("SyncDir on a missing directory should fail")
+	}
+}
+
+func TestWriteFileAtomicIntoMissingDir(t *testing.T) {
+	if err := WriteFileAtomic(filepath.Join(t.TempDir(), "sub", "f"), []byte("x"), 0o644); err == nil {
+		t.Fatal("WriteFileAtomic into a missing directory should fail")
+	}
+}

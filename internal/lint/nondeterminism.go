@@ -21,6 +21,7 @@ var deterministicPkgs = []string{
 	"internal/timeutil",
 	"internal/faults",
 	"internal/obs",
+	"internal/wal",
 }
 
 // nondetFuncs are the time package functions that read the wall

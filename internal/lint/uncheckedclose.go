@@ -20,7 +20,7 @@ var UncheckedCloseAnalyzer = &Analyzer{
 	Run:  runUncheckedClose,
 }
 
-var uncheckedClosePkgs = []string{"internal/trace", "internal/sim"}
+var uncheckedClosePkgs = []string{"internal/trace", "internal/sim", "internal/wal", "internal/daemon"}
 
 var errorDroppers = map[string]bool{
 	"Close": true, "Flush": true, "Write": true, "WriteString": true,

@@ -42,6 +42,8 @@ const (
 	MetricFaultUnlinks    = "faults_unlink_failures_total"
 	MetricFaultInterrupts = "faults_interrupted_scans_total"
 	MetricFaultReads      = "faults_read_failures_total"
+	MetricFaultWrites     = "faults_write_failures_total"
+	MetricFaultTornWrites = "faults_torn_writes_total"
 
 	MetricMissSizeBytes = "replay_miss_size_bytes"
 	MetricTriggerFreed  = "purge_freed_of_target_pct"
@@ -145,6 +147,8 @@ func (o *Observer) FaultMetrics() FaultMetrics {
 		UnlinkFailures:   o.reg.Counter(MetricFaultUnlinks),
 		InterruptedScans: o.reg.Counter(MetricFaultInterrupts),
 		ReadFailures:     o.reg.Counter(MetricFaultReads),
+		WriteFailures:    o.reg.Counter(MetricFaultWrites),
+		TornWrites:       o.reg.Counter(MetricFaultTornWrites),
 	}
 }
 
@@ -391,4 +395,6 @@ type FaultMetrics struct {
 	UnlinkFailures   *Counter
 	InterruptedScans *Counter
 	ReadFailures     *Counter
+	WriteFailures    *Counter
+	TornWrites       *Counter
 }

@@ -31,6 +31,7 @@ import (
 
 	"activedr/internal/activeness"
 	"activedr/internal/faults"
+	"activedr/internal/fsx"
 	"activedr/internal/obs"
 	"activedr/internal/retention"
 	"activedr/internal/timeutil"
@@ -173,10 +174,14 @@ func (e *Emulator) saveCheckpoint(opts RunOptions, policy retention.Policy, st *
 	if err := os.RemoveAll(final); err != nil {
 		return fmt.Errorf("sim: checkpoint: %w", err)
 	}
-	if err := os.Rename(tmp, final); err != nil {
+	if err := fsx.RenameDurable(tmp, final); err != nil {
 		return fmt.Errorf("sim: checkpoint: %w", err)
 	}
-	if err := writeFileAtomic(filepath.Join(dir, latestFile), []byte(name+"\n")); err != nil {
+	// LATEST is the durability linchpin: fsx.WriteFileAtomic fsyncs
+	// the pointer file before the rename and the directory after it,
+	// so a crash can never resurrect a stale pointer to a pruned
+	// checkpoint (see TestLatestPointerDurability).
+	if err := fsx.WriteFileAtomic(filepath.Join(dir, latestFile), []byte(name+"\n"), 0o644); err != nil {
 		return fmt.Errorf("sim: checkpoint: %w", err)
 	}
 	pruneCheckpoints(dir, keepCheckpoints)
@@ -187,16 +192,6 @@ func (e *Emulator) saveCheckpoint(opts RunOptions, policy retention.Policy, st *
 // keeps same-day snapshots distinct, unlike the date-based public
 // series naming.
 func seriesName(i int) string { return fmt.Sprintf("s%05d.tsv.gz", i) }
-
-// writeFileAtomic writes data to path via a temp file + rename so
-// readers never observe a torn file.
-func writeFileAtomic(path string, data []byte) error {
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
-}
 
 // pruneCheckpoints removes all but the newest keep checkpoint
 // directories. Best-effort: pruning failures never fail the run.

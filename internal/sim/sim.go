@@ -264,6 +264,10 @@ type RunOptions struct {
 	// Checkpoints persist the registry state so a resumed run's
 	// counters continue exactly where the original's left off.
 	Obs *obs.Observer
+	// OnCheckpoint, when set, runs after each checkpoint publishes,
+	// with the number of events the persisted state contains. The
+	// daemon uses it to prune its write-ahead log up to that event.
+	OnCheckpoint func(applied int)
 }
 
 // ErrInterrupted reports a replay stopped early by
@@ -416,123 +420,25 @@ func (ro *runObs) noteMiss(policy string, a *trace.Access, g activeness.Group) {
 }
 
 // replay drives the access loop from st to the end of the log (or an
-// interruption point).
+// interruption point). The per-event semantics live in Stream.Apply;
+// this wrapper only supplies the dataset's access log and finalizes
+// the Result — the daemon drives the identical Stream from its WAL.
 func (e *Emulator) replay(policy retention.Policy, opts RunOptions, st *runState) (*Result, error) {
 	timer := profiling.StartTimer()
-	if opts.Faults != nil {
-		if sink, ok := policy.(retention.FaultSink); ok {
-			sink.SetFaults(opts.Faults)
-		}
-	}
-	ro := newRunObs(opts.Obs)
+	s := e.newStream(policy, opts, st)
 	if opts.Obs != nil {
-		if sink, ok := policy.(retention.ProbeSink); ok {
-			sink.SetProbe(opts.Obs.Probe())
-		}
-		st.fsys.SetProbe(opts.Obs.VFSProbe())
-		if opts.Faults != nil {
-			opts.Faults.SetMetrics(opts.Obs.FaultMetrics())
-		}
 		stopReplay := opts.Obs.StartPhase("replay")
 		defer stopReplay()
 	}
-	t0 := e.ds.Snapshot.Taken
 	res := st.res
-
-	var day *DayStats
-	if n := len(res.Days); n > 0 {
-		// Resume mid-day: keep appending to the tail day's stats.
-		day = &res.Days[n-1]
-	}
-	dayFor := func(ts timeutil.Time) *DayStats {
-		d := ts.StartOfDay()
-		if day == nil || day.Day != d {
-			res.Days = append(res.Days, DayStats{Day: d})
-			day = &res.Days[len(res.Days)-1]
-		}
-		return day
-	}
-
-	trigger := func(at timeutil.Time) {
-		st.ranks = st.cursors.EvaluateAll(e.users, at)
-		st.ranksAt = at
-		if !st.captured && at >= e.cfg.CaptureAt {
-			res.Captured = st.fsys.Clone()
-			st.captured = true
-		}
-		seq := int64(st.triggers) + 1 // 1-based, stable across resumes
-		opts.Obs.BeginTrigger(policy.Name(), seq)
-		stopPurge := opts.Obs.StartPhase("purge")
-		rep := policy.Purge(st.fsys, st.ranks, at)
-		stopPurge()
-		res.Reports = append(res.Reports, rep)
-		ro.triggers.Inc()
-		ro.noteTrigger(rep, seq)
-		if e.cfg.SnapshotEvery > 0 && (st.lastSnap == 0 || at.Sub(st.lastSnap) >= e.cfg.SnapshotEvery) {
-			stopSnap := opts.Obs.StartPhase("snapshot")
-			res.Snapshots = append(res.Snapshots, st.fsys.Snapshot(at))
-			stopSnap()
-			st.lastSnap = at
-			ro.snaps.Inc()
-		}
-		st.triggers++
-	}
-
-	every := opts.CheckpointEvery
-	if every <= 0 {
-		every = 1
-	}
 	for st.cursor < len(e.ds.Accesses) {
-		a := &e.ds.Accesses[st.cursor]
-		if a.TS < t0 {
-			return nil, fmt.Errorf("sim: access %d at %v predates the snapshot (%v)", st.cursor, a.TS, t0)
-		}
-		for a.TS >= st.nextTrigger {
-			at := st.nextTrigger
-			trigger(at)
-			st.nextTrigger = at.Add(e.cfg.TriggerInterval)
-			if opts.CheckpointDir != "" && st.triggers%every == 0 {
-				// The counter increments before the save so the persisted
-				// snapshot counts the checkpoint that carries it; resumed
-				// and uninterrupted runs then agree on the final value.
-				ro.ckpts.Inc()
-				stopCkpt := opts.Obs.StartPhase("checkpoint")
-				err := e.saveCheckpoint(opts, policy, st, at)
-				stopCkpt()
-				if err != nil {
-					return nil, err
-				}
-			}
-			if opts.StopAfterTriggers > 0 && st.triggers >= opts.StopAfterTriggers {
+		if err := s.Apply(&e.ds.Accesses[st.cursor]); err != nil {
+			if errors.Is(err, ErrInterrupted) {
 				res.Elapsed = timer.Elapsed()
-				return res, ErrInterrupted
+				return res, err
 			}
+			return nil, err
 		}
-		ds := dayFor(a.TS)
-		g := rankGroup(st.ranks, a.User)
-		ds.Accesses++
-		ds.ByGroup[g].Accesses++
-		res.TotalAccesses++
-		ro.accesses.Inc()
-		switch {
-		case a.Create:
-			// Fresh output: insert, no miss possible.
-			insert(st.fsys, a)
-		case st.fsys.Touch(a.Path, a.TS):
-			// Hit: access time renewed.
-		default:
-			// Miss: the retention policy purged a file the user came
-			// back for; the user restores it from the archive.
-			ds.Misses++
-			ds.ByGroup[g].Misses++
-			res.TotalMisses++
-			res.MissesByGroup[g]++
-			res.RestoredFiles++
-			res.RestoredBytes += a.Size
-			ro.noteMiss(res.Policy, a, g)
-			insert(st.fsys, a)
-		}
-		st.cursor++
 	}
 	if !st.captured {
 		res.Captured = st.fsys.Clone()
