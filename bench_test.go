@@ -383,6 +383,84 @@ func BenchmarkReplayActiveDRLegacy(b *testing.B) {
 	}, true)
 }
 
+// --- multiplexed sweep benchmarks (DESIGN.md §13) ---
+
+// sweep4Lanes is the 4-policy lifetime sweep both sweep benchmarks
+// evaluate: the paper's FLT lifetime grid on one shared access stream.
+func sweep4Lanes() []sim.LaneSpec {
+	lanes := make([]sim.LaneSpec, 0, 4)
+	for _, days := range []int{7, 30, 60, 90} {
+		lanes = append(lanes, sim.LaneSpec{
+			Policy: sim.PolicyFLT,
+			Config: sim.Config{Lifetime: timeutil.Days(days)},
+		})
+	}
+	return lanes
+}
+
+// BenchmarkSweep4Sequential replays the 4-policy sweep the historical
+// way: four independent full-year replays. Emulators (snapshot load,
+// activity indexing) are prebuilt, so the timer sees only the replay
+// loops — the quantity the multiplexed runner collapses.
+func BenchmarkSweep4Sequential(b *testing.B) {
+	ds := benchDataset(b)
+	lanes := sweep4Lanes()
+	ems := make([]*sim.Emulator, len(lanes))
+	for i, l := range lanes {
+		em, err := sim.New(ds, l.Config)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ems[i] = em
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var misses int64
+	for i := 0; i < b.N; i++ {
+		misses = 0
+		for _, em := range ems {
+			res, err := em.Run(em.NewFLT())
+			if err != nil {
+				b.Fatal(err)
+			}
+			misses += res.TotalMisses
+		}
+	}
+	b.ReportMetric(float64(misses), "misses")
+}
+
+// BenchmarkSweep4Multiplexed is the same sweep in ONE multiplexed pass
+// over the shared columnar feed. cmd/bench derives the
+// sweep4-speedup metric from this pair; the acceptance bar is >= 3x
+// on one core.
+func BenchmarkSweep4Multiplexed(b *testing.B) {
+	ds := benchDataset(b)
+	m, err := sim.NewMultiplexer(ds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the per-dataset caches (columnar feed, evaluators) the
+	// sequential side gets for free via its prebuilt emulators.
+	if _, err := m.Run(sweep4Lanes()); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var misses int64
+	for i := 0; i < b.N; i++ {
+		results, err := m.Run(sweep4Lanes())
+		if err != nil {
+			b.Fatal(err)
+		}
+		misses = 0
+		for _, res := range results {
+			misses += res.TotalMisses
+		}
+	}
+	b.ReportMetric(float64(misses), "misses")
+	b.ReportMetric(4, "policies/pass")
+}
+
 // --- ablations of DESIGN.md §3 choices ---
 
 // runComparison replays the year with a custom sim config and reports

@@ -26,6 +26,7 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -141,8 +142,48 @@ func resolveDate(s string) (time.Time, error) {
 	return t, nil
 }
 
+// medianNsOp returns the median ns/op across every repetition of the
+// named benchmark (names carry a -cpu suffix; -count adds lines, not
+// names), or 0 when the benchmark is absent.
+func medianNsOp(benches []Benchmark, name string) float64 {
+	var vals []float64
+	for _, b := range benches {
+		base, _, _ := strings.Cut(b.Name, "-")
+		if base != name {
+			continue
+		}
+		if v, ok := b.Metrics["ns/op"]; ok {
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) == 0 {
+		return 0
+	}
+	sort.Float64s(vals)
+	return vals[len(vals)/2]
+}
+
+// addDerived appends metrics that only exist as cross-benchmark
+// ratios. Currently one: Sweep4Speedup, the 4-policies-per-pass
+// speedup of the multiplexed replay over four dedicated ones (median
+// sequential ns/op over median multiplexed ns/op), recorded whenever a
+// run captures both sweep benchmarks.
+func addDerived(benches []Benchmark) []Benchmark {
+	seq := medianNsOp(benches, "BenchmarkSweep4Sequential")
+	mux := medianNsOp(benches, "BenchmarkSweep4Multiplexed")
+	if seq > 0 && mux > 0 {
+		benches = append(benches, Benchmark{
+			Name:       "Sweep4Speedup",
+			Iterations: 1,
+			Metrics:    map[string]float64{"x": seq / mux},
+		})
+	}
+	return benches
+}
+
 // record appends one run to the trajectory file, stamped with now.
 func record(path string, run Run, now time.Time) {
+	run.Benchmarks = addDerived(run.Benchmarks)
 	if len(run.Benchmarks) == 0 {
 		log.Fatal("no benchmark result lines found")
 	}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestAddDerivedSpeedup pins the derived sweep metric: medians across
+// -count repetitions, ratio sequential/multiplexed, and no phantom
+// entry when either side is missing.
+func TestAddDerivedSpeedup(t *testing.T) {
+	mk := func(name string, ns float64) Benchmark {
+		return Benchmark{Name: name, Iterations: 1, Metrics: map[string]float64{"ns/op": ns}}
+	}
+	in := []Benchmark{
+		mk("BenchmarkSweep4Sequential-1", 350e6),
+		mk("BenchmarkSweep4Sequential-1", 300e6),
+		mk("BenchmarkSweep4Sequential-1", 330e6),
+		mk("BenchmarkSweep4Multiplexed-1", 100e6),
+		mk("BenchmarkSweep4Multiplexed-1", 130e6),
+		mk("BenchmarkSweep4Multiplexed-1", 110e6),
+		mk("BenchmarkReplayBare-1", 80e6), // unrelated, ignored
+	}
+	out := addDerived(in)
+	if len(out) != len(in)+1 {
+		t.Fatalf("addDerived appended %d entries, want 1", len(out)-len(in))
+	}
+	d := out[len(out)-1]
+	if d.Name != "Sweep4Speedup" {
+		t.Fatalf("derived name = %q", d.Name)
+	}
+	want := 330e6 / 110e6 // ratio of medians
+	if got := d.Metrics["x"]; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("speedup = %v, want %v", got, want)
+	}
+
+	for _, partial := range [][]Benchmark{
+		{mk("BenchmarkSweep4Sequential-1", 350e6)},
+		{mk("BenchmarkSweep4Multiplexed-1", 100e6)},
+		nil,
+	} {
+		if out := addDerived(partial); len(out) != len(partial) {
+			t.Fatalf("addDerived(%v) fabricated a speedup without both sides", partial)
+		}
+	}
+}
+
+// TestParseBenchOutputSweepLines makes sure the parser keeps custom
+// units (misses, policies/pass) the sweep benchmarks report, so the
+// derived metric sees its inputs.
+func TestParseBenchOutputSweepLines(t *testing.T) {
+	out := `goos: linux
+BenchmarkSweep4Sequential-1    6   340123456 ns/op   48842 misses   24e6 B/op   100000 allocs/op
+BenchmarkSweep4Multiplexed-1   6   110123456 ns/op   48842 misses   4 policies/pass
+PASS
+`
+	benches, err := parseBenchOutput(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(benches))
+	}
+	if benches[0].Metrics["misses"] != 48842 {
+		t.Fatalf("misses metric lost: %v", benches[0].Metrics)
+	}
+	if benches[1].Metrics["policies/pass"] != 4 {
+		t.Fatalf("policies/pass metric lost: %v", benches[1].Metrics)
+	}
+	derived := addDerived(benches)
+	if derived[len(derived)-1].Name != "Sweep4Speedup" {
+		t.Fatal("no Sweep4Speedup derived from parsed pair")
+	}
+}

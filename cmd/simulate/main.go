@@ -8,6 +8,12 @@
 // the latest one up after a kill), and -lenient salvages what it can
 // from damaged trace files instead of aborting.
 //
+// -multiplex replays both policies as lanes of a single multiplexed
+// pass over one shared access stream instead of two dedicated replays.
+// Results are identical (the sim equivalence suite pins this); the
+// pass costs roughly one replay instead of two. Not combinable with
+// -resume or -fault-kill, which need per-policy replay lifecycles.
+//
 // Observability: -metrics-out dumps each policy's counter registry
 // (plus per-phase wall-clock times) as JSON, -events-out streams
 // per-trigger and per-miss telemetry as JSONL (cmd/report -events
@@ -21,6 +27,7 @@
 //	simulate -data ./data -checkpoint-dir ./ckpt -resume    # pick up after a kill
 //	simulate -data ./data -faults 0.05 -fault-seed 42       # inject purge faults
 //	simulate -data ./data -lenient                          # salvage damaged traces
+//	simulate -data ./data -multiplex                        # both policies in one pass
 //	simulate -data ./data -metrics-out m.json -events-out e.jsonl -audit-sample 0.01
 package main
 
@@ -66,9 +73,11 @@ type options struct {
 	faultClear int
 	faultKill  string
 
-	ckptDir   string
-	ckptEvery int
-	resume    bool
+	ckptDir       string
+	ckptEvery     int
+	ckptFullEvery int
+	resume        bool
+	multiplex     bool
 
 	metricsOut  string
 	eventsOut   string
@@ -103,7 +112,10 @@ func parseFlags(args []string, errOut io.Writer) (*options, error) {
 
 	fs.StringVar(&o.ckptDir, "checkpoint-dir", "", "persist resumable checkpoints under this directory (one subdirectory per policy)")
 	fs.IntVar(&o.ckptEvery, "checkpoint-every", 1, "checkpoint once every N purge triggers")
+	fs.IntVar(&o.ckptFullEvery, "checkpoint-full-every", 1, "make only every Kth checkpoint a full snapshot; the ones between persist deltas against the previous checkpoint (1 = every checkpoint full)")
 	fs.BoolVar(&o.resume, "resume", false, "resume each policy from its latest checkpoint under -checkpoint-dir")
+
+	fs.BoolVar(&o.multiplex, "multiplex", false, "replay both policies as lanes of one multiplexed pass over a shared access stream (identical results, one stream walk)")
 
 	fs.StringVar(&o.metricsOut, "metrics-out", "", "write each policy's metrics registry and phase times to this JSON file")
 	fs.StringVar(&o.eventsOut, "events-out", "", "stream per-trigger/per-miss telemetry to this JSONL file (see cmd/report -events)")
@@ -155,8 +167,17 @@ func (o *options) validate() error {
 	if o.ckptEvery < 1 {
 		return fmt.Errorf("-checkpoint-every must be >= 1, got %d", o.ckptEvery)
 	}
+	if o.ckptFullEvery < 1 {
+		return fmt.Errorf("-checkpoint-full-every must be >= 1, got %d", o.ckptFullEvery)
+	}
 	if o.resume && o.ckptDir == "" {
 		return errors.New("-resume requires -checkpoint-dir")
+	}
+	if o.multiplex && o.resume {
+		return errors.New("-resume is not supported with -multiplex; resume the policies with dedicated replays, then drop -resume to go back to multiplexing")
+	}
+	if o.multiplex && o.faultKill != "" {
+		return errors.New("-fault-kill is not supported with -multiplex (a kill tears down the shared pass, leaving the lanes at different trigger depths)")
 	}
 	if !(o.auditSample >= 0 && o.auditSample <= 1) {
 		return fmt.Errorf("-audit-sample must be in [0,1], got %v", o.auditSample)
@@ -213,10 +234,6 @@ func run(o *options, out io.Writer) (err error) {
 	if o.snapDir != "" {
 		cfg.SnapshotEvery = timeutil.Days(7)
 	}
-	em, err := sim.New(ds, cfg)
-	if err != nil {
-		return err
-	}
 
 	faultCfg := faults.Config{
 		Seed:              o.faultSeed,
@@ -254,11 +271,12 @@ func run(o *options, out io.Writer) (err error) {
 	instrumented := o.metricsOut != "" || o.eventsOut != ""
 	var perPolicy []policyMetrics
 
-	// Each policy replays independently, with its own checkpoint
-	// subdirectory and its own injector (same seed: comparable fault
-	// streams).
-	runPolicy := func(name string, policy retention.Policy) (*sim.Result, error) {
-		opts := sim.RunOptions{CheckpointEvery: o.ckptEvery}
+	// optsFor assembles one policy's run options — its own checkpoint
+	// subdirectory, its own injector (same seed: comparable fault
+	// streams), and, when instrumented, its own registry. The returned
+	// finish records the registry snapshot once the replay is done.
+	optsFor := func(name string) (sim.RunOptions, func(), error) {
+		opts := sim.RunOptions{CheckpointEvery: o.ckptEvery, CheckpointFullEvery: o.ckptFullEvery}
 		if o.ckptDir != "" {
 			opts.CheckpointDir = filepath.Join(o.ckptDir, name)
 		}
@@ -271,17 +289,18 @@ func run(o *options, out io.Writer) (err error) {
 			}
 			opts.Faults = faults.New(cfg)
 		}
-		var reg *obs.Registry
+		finish := func() {}
 		if instrumented {
+			var reg *obs.Registry
 			if o.metricsOut != "" {
 				reg = obs.NewRegistry()
 			}
 			ob, err := obs.NewObserver(reg, events, o.auditSample)
 			if err != nil {
-				return nil, err
+				return opts, nil, err
 			}
 			opts.Obs = ob
-			defer func() {
+			finish = func() {
 				if reg != nil {
 					perPolicy = append(perPolicy, policyMetrics{
 						Policy:  name,
@@ -289,35 +308,74 @@ func run(o *options, out io.Writer) (err error) {
 						Phases:  ob.Phases(),
 					})
 				}
-			}()
-		}
-		var res *sim.Result
-		var err error
-		if o.resume && sim.HasCheckpoint(opts.CheckpointDir) {
-			res, err = em.Resume(policy, opts)
-			if err == nil {
-				fmt.Fprintf(out, "%-14s resumed from checkpoint in %s\n", name, opts.CheckpointDir)
 			}
-		} else {
-			res, err = em.RunWith(policy, opts)
 		}
-		if errors.Is(err, sim.ErrInterrupted) {
-			fmt.Fprintf(out, "%-14s killed at %s after %d triggers; rerun with -resume to recover from %s\n",
-				name, o.faultKill, len(res.Reports), opts.CheckpointDir)
-		}
-		return res, err
+		return opts, finish, nil
 	}
 
-	adr, err := em.NewActiveDR()
-	if err != nil {
-		return err
-	}
 	cmp := &sim.Comparison{}
-	if cmp.FLT, err = runPolicy("flt", em.NewFLT()); err != nil {
-		return err
-	}
-	if cmp.ActiveDR, err = runPolicy("activedr", adr); err != nil {
-		return err
+	if o.multiplex {
+		// Both policies ride one multiplexed pass as lanes over a
+		// shared access stream; per-lane options keep checkpoints and
+		// fault draws as independent as two dedicated replays.
+		fltOpts, fltFinish, err := optsFor("flt")
+		if err != nil {
+			return err
+		}
+		adrOpts, adrFinish, err := optsFor("activedr")
+		if err != nil {
+			return err
+		}
+		res, err := sim.RunMultiplexed(ds, []sim.LaneSpec{
+			{Config: cfg, Policy: sim.PolicyFLT, Opts: fltOpts},
+			{Config: cfg, Policy: sim.PolicyActiveDR, Opts: adrOpts},
+		})
+		if err != nil {
+			return err
+		}
+		fltFinish()
+		adrFinish()
+		cmp.FLT, cmp.ActiveDR = res[0], res[1]
+	} else {
+		em, err := sim.New(ds, cfg)
+		if err != nil {
+			return err
+		}
+
+		// Each policy replays independently, with its own checkpoint
+		// subdirectory and its own injector.
+		runPolicy := func(name string, policy retention.Policy) (*sim.Result, error) {
+			opts, finish, err := optsFor(name)
+			if err != nil {
+				return nil, err
+			}
+			defer finish()
+			var res *sim.Result
+			if o.resume && sim.HasCheckpoint(opts.CheckpointDir) {
+				res, err = em.Resume(policy, opts)
+				if err == nil {
+					fmt.Fprintf(out, "%-14s resumed from checkpoint in %s\n", name, opts.CheckpointDir)
+				}
+			} else {
+				res, err = em.RunWith(policy, opts)
+			}
+			if errors.Is(err, sim.ErrInterrupted) {
+				fmt.Fprintf(out, "%-14s killed at %s after %d triggers; rerun with -resume to recover from %s\n",
+					name, o.faultKill, len(res.Reports), opts.CheckpointDir)
+			}
+			return res, err
+		}
+
+		adr, err := em.NewActiveDR()
+		if err != nil {
+			return err
+		}
+		if cmp.FLT, err = runPolicy("flt", em.NewFLT()); err != nil {
+			return err
+		}
+		if cmp.ActiveDR, err = runPolicy("activedr", adr); err != nil {
+			return err
+		}
 	}
 
 	fmt.Fprintf(out, "replayed %d accesses over %d days (lifetime %dd, trigger %dd, target %.0f%%)\n",

@@ -20,6 +20,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"activedr/internal/timeutil"
 	"activedr/internal/trace"
@@ -210,60 +211,117 @@ func TypeRank(acts []Activity, tc timeutil.Time, d timeutil.Duration) float64 {
 		}
 		total += acts[i].Impact
 	}
-	phi, _ := typeRankCore(acts, len(acts), total, tc, d, nil)
-	return phi
+	var s rankScratch
+	return typeRankCore(acts, len(acts), total, tc, d, &s)
+}
+
+// rankScratch is the period-bucket buffer typeRankCore reuses across
+// calls. Buckets are claimed lazily: a bucket is live for the current
+// call iff its stamp equals the current epoch, so a call pays for the
+// periods its window actually contains activity in instead of zeroing
+// the whole window — the window span m grows with the history length,
+// while most users touch only a handful of recent periods.
+type rankScratch struct {
+	dp    []float64
+	stamp []int64
+	epoch int64
 }
 
 // typeRankCore is the Φ_λ computation shared by TypeRank and the
-// memoized cursor path: acts[:k] is the pre-cut history (k ≥ 1),
-// total its impact sum (accumulated first-to-last, so both callers
-// produce bit-identical floats), dp an optional scratch buffer. It
-// returns the rank and the (possibly grown) buffer.
-func typeRankCore(acts []Activity, k int, total float64, tc timeutil.Time, d timeutil.Duration, dp []float64) (float64, []float64) {
+// memoized cursor paths: acts[:k] is the pre-cut history (k ≥ 1),
+// total its impact sum (accumulated first-to-last, so all callers
+// produce bit-identical floats), s the reusable bucket scratch.
+func typeRankCore(acts []Activity, k int, total float64, tc timeutil.Time, d timeutil.Duration, s *rankScratch) float64 {
 	first, last := acts[0].TS, acts[k-1].TS
 	m := timeutil.PeriodCount(first, last, d) // Eq. (1)
 	if total <= 0 {
-		return 0, dp
+		return 0
 	}
 	avg := total / float64(m) // Eq. (2)
-	// Bucket impacts into the m-period window ending at tc (Eq. 4).
-	if cap(dp) < m+1 {
-		dp = make([]float64, m+1) // 1-based
-	} else {
-		dp = dp[:m+1]
-		for i := range dp {
-			dp[i] = 0
-		}
-	}
 	// Only the window [tc − m·d, tc] contributes (older activities get
 	// PeriodIndex < 1), so skip straight to its start instead of
 	// scanning the whole history.
 	lo := 0
-	if int64(m) <= math.MaxInt64/int64(d) {
+	spanOK := int64(m) <= math.MaxInt64/int64(d)
+	if spanOK {
 		if ws := int64(tc) - int64(m)*int64(d); ws <= int64(tc) {
 			lo = sort.Search(k, func(i int) bool { return int64(acts[i].TS) >= ws })
 		}
 	}
-	for i := lo; i < k; i++ {
-		e := timeutil.PeriodIndex(tc, acts[i].TS, m, d)
-		if e >= 1 && e <= m {
-			dp[e] += acts[i].Impact
+	// Fewer window activities than periods leaves some period empty by
+	// pigeonhole, which zeroes the product (Eq. 5) — skip the scan.
+	if k-lo < m {
+		return 0
+	}
+	// Bucket impacts into the m-period window ending at tc (Eq. 4).
+	if cap(s.dp) < m+1 || cap(s.stamp) < m+1 {
+		s.dp = make([]float64, m+1) // 1-based; fresh stamps read as unclaimed
+		s.stamp = make([]int64, m+1)
+	} else {
+		s.dp = s.dp[:m+1]
+		s.stamp = s.stamp[:m+1]
+	}
+	s.epoch++
+	filled := 0
+	if spanOK {
+		// Ascending timestamps visit period indices monotonically
+		// (PeriodIndex is non-decreasing in ts), so one division prices
+		// the first window activity and the rest advance by boundary
+		// comparison: period e < m holds ts ∈ [tc−(m−e+1)·d, tc−(m−e)·d),
+		// period m holds everything up to tc.
+		e := timeutil.PeriodIndex(tc, acts[lo].TS, m, d)
+		var hiEx int64 // exclusive upper ts bound of period e (e < m only)
+		if e < m {
+			hiEx = int64(tc) - int64(m-e)*int64(d)
+		}
+		for i := lo; i < k; i++ {
+			ts := int64(acts[i].TS)
+			for e < m && ts >= hiEx {
+				e++
+				hiEx += int64(d)
+			}
+			if s.stamp[e] == s.epoch {
+				s.dp[e] += acts[i].Impact
+			} else {
+				s.stamp[e] = s.epoch
+				s.dp[e] = acts[i].Impact // first claim: exactly 0 + Impact
+				filled++
+			}
+		}
+	} else {
+		// m·d overflows: no window start to search or step boundaries
+		// from; price every activity individually.
+		for i := lo; i < k; i++ {
+			e := timeutil.PeriodIndex(tc, acts[i].TS, m, d)
+			if e >= 1 && e <= m {
+				if s.stamp[e] == s.epoch {
+					s.dp[e] += acts[i].Impact
+				} else {
+					s.stamp[e] = s.epoch
+					s.dp[e] = acts[i].Impact
+					filled++
+				}
+			}
 		}
 	}
-	// Φ_λ = Π_{e=1..m} (D_e/avg)^e, in log space (Eq. 3 + Eq. 5).
-	// Any empty period zeroes the product.
+	if filled < m {
+		return 0 // some period in the window saw no activity (Eq. 5)
+	}
+	// Φ_λ = Π_{e=1..m} (D_e/avg)^e, in log space (Eq. 3 + Eq. 5). A
+	// claimed period can still hold zero total impact, which zeroes the
+	// product just like an empty one.
 	logSum := 0.0
 	for e := 1; e <= m; e++ {
-		if dp[e] == 0 {
-			return 0, dp
+		if s.dp[e] == 0 {
+			return 0
 		}
-		logSum += float64(e) * math.Log(dp[e]/avg)
+		logSum += float64(e) * math.Log(s.dp[e]/avg)
 	}
 	phi := math.Exp(logSum)
 	if math.IsInf(phi, 1) {
-		return math.MaxFloat64, dp
+		return math.MaxFloat64
 	}
-	return phi, dp
+	return phi
 }
 
 // CombineTypeRanks multiplies per-type ranks within a class (Eq. 6),
@@ -296,6 +354,11 @@ type Evaluator struct {
 
 	mu     sync.Mutex // guards sorted / the one-time history sort
 	sorted bool
+	// ready is the lock-free fast-path gate of ensureSorted: true once
+	// the sorted histories and prefix sums are published. Evaluation
+	// calls ensureSorted per (user, trigger), so the steady state must
+	// not take the mutex.
+	ready atomic.Bool
 }
 
 // NewEvaluator builds an Evaluator with the given period length d
@@ -314,6 +377,7 @@ func (e *Evaluator) Period() timeutil.Duration { return e.period }
 func (e *Evaluator) AddType(name string, class Class) TypeID {
 	e.types = append(e.types, TypeSpec{Name: name, Class: class})
 	e.data = append(e.data, make(map[trace.UserID][]Activity))
+	e.ready.Store(false)
 	return TypeID(len(e.types) - 1)
 }
 
@@ -327,6 +391,7 @@ func (e *Evaluator) Record(t TypeID, u trace.UserID, ts timeutil.Time, impact fl
 	}
 	e.data[t][u] = append(e.data[t][u], Activity{TS: ts, Impact: impact})
 	e.sorted = false
+	e.ready.Store(false)
 }
 
 // RecordJobs feeds a job-scheduler log as one operation type; the
@@ -370,25 +435,28 @@ func (e *Evaluator) RecordPublications(t TypeID, pubs []trace.Publication) {
 // concurrent EvaluateUser goroutines; Record must not run
 // concurrently with evaluation.
 func (e *Evaluator) ensureSorted() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.sorted && len(e.prefix) == len(e.data) {
+	if e.ready.Load() {
 		return
 	}
-	e.prefix = make([]map[trace.UserID][]float64, len(e.data))
-	for t, byUser := range e.data {
-		e.prefix[t] = make(map[trace.UserID][]float64, len(byUser))
-		for u, acts := range byUser {
-			sort.SliceStable(acts, func(i, j int) bool { return acts[i].TS < acts[j].TS })
-			byUser[u] = acts
-			ps := make([]float64, len(acts)+1)
-			for i := range acts {
-				ps[i+1] = ps[i] + acts[i].Impact
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.sorted || len(e.prefix) != len(e.data) {
+		e.prefix = make([]map[trace.UserID][]float64, len(e.data))
+		for t, byUser := range e.data {
+			e.prefix[t] = make(map[trace.UserID][]float64, len(byUser))
+			for u, acts := range byUser {
+				sort.SliceStable(acts, func(i, j int) bool { return acts[i].TS < acts[j].TS })
+				byUser[u] = acts
+				ps := make([]float64, len(acts)+1)
+				for i := range acts {
+					ps[i+1] = ps[i] + acts[i].Impact
+				}
+				e.prefix[t][u] = ps
 			}
-			e.prefix[t][u] = ps
 		}
+		e.sorted = true
 	}
-	e.sorted = true
+	e.ready.Store(true)
 }
 
 // EvaluateUser computes the user's rank at time tc.
@@ -444,8 +512,8 @@ type Cursors struct {
 	lastTC timeutil.Time
 	valid  bool
 	// cuts[t][u] is the count of (t, u)-activities with TS ≤ lastTC.
-	cuts []map[trace.UserID]int
-	dp   []float64 // scratch period-bucket buffer reused across users
+	cuts    []map[trace.UserID]int
+	scratch rankScratch // period-bucket buffer reused across users
 }
 
 // NewCursors returns a fresh cursor set over the evaluator's data.
@@ -483,8 +551,7 @@ func (c *Cursors) EvaluateUser(u trace.UserID, tc timeutil.Time) Rank {
 		if k == 0 {
 			continue
 		}
-		phi, dp := typeRankCore(acts, k, e.prefix[t][u][k], tc, e.period, c.dp)
-		c.dp = dp
+		phi := typeRankCore(acts, k, e.prefix[t][u][k], tc, e.period, &c.scratch)
 		switch e.types[t].Class {
 		case Operation:
 			r.HasOp = true
@@ -511,6 +578,65 @@ func (c *Cursors) EvaluateAll(numUsers int, tc timeutil.Time) []Rank {
 		ranks[u] = c.EvaluateUser(trace.UserID(u), tc)
 	}
 	return ranks
+}
+
+// EvaluateUserMulti computes the user's rank at tc under each of the
+// given period lengths in one pass, writing the rank for periods[i] to
+// out[i] (out must have len(periods) elements). The per-type cursor
+// advance, history cut and impact total — the parts independent of the
+// period length — are done once and shared across all periods; only
+// the Φ_λ bucketing runs per period. Each out[i] is bit-identical to
+// what a dedicated Cursors over an evaluator with period periods[i]
+// would return from EvaluateUser at the same times: the cut k and the
+// prefix total are period-independent, and the per-type multiply order
+// into the rank is the same.
+func (c *Cursors) EvaluateUserMulti(u trace.UserID, tc timeutil.Time, periods []timeutil.Duration, out []Rank) {
+	e := c.e
+	e.ensureSorted()
+	if c.valid && tc < c.lastTC {
+		for t := range c.cuts {
+			c.cuts[t] = make(map[trace.UserID]int, len(c.cuts[t]))
+		}
+	}
+	c.lastTC, c.valid = tc, true
+	for len(c.cuts) < len(e.data) {
+		c.cuts = append(c.cuts, make(map[trace.UserID]int))
+	}
+	for i := range out {
+		out[i] = Rank{Op: 1, Oc: 1}
+	}
+	for t := range e.types {
+		acts := e.data[t][u]
+		k := c.cuts[t][u]
+		for k < len(acts) && acts[k].TS <= tc {
+			k++
+		}
+		c.cuts[t][u] = k
+		if k == 0 {
+			continue
+		}
+		total := e.prefix[t][u][k]
+		cls := e.types[t].Class
+		for pi, d := range periods {
+			phi := typeRankCore(acts, k, total, tc, d, &c.scratch)
+			switch cls {
+			case Operation:
+				out[pi].HasOp = true
+				out[pi].Op *= phi
+			case Outcome:
+				out[pi].HasOc = true
+				out[pi].Oc *= phi
+			}
+		}
+	}
+	for i := range out {
+		if math.IsInf(out[i].Op, 1) {
+			out[i].Op = math.MaxFloat64
+		}
+		if math.IsInf(out[i].Oc, 1) {
+			out[i].Oc = math.MaxFloat64
+		}
+	}
 }
 
 // Matrix counts users per classification group — the content of the

@@ -51,6 +51,62 @@ func TestCursorsMatchEvaluate(t *testing.T) {
 	}
 }
 
+// TestEvaluateUserMultiMatchesDedicated is the multiplexed-ranking
+// contract: one cursor set answering N periods in a single pass must
+// be bit-identical to N dedicated evaluators (one per period, same
+// histories), across a monotone trigger schedule and one backward
+// jump — the shared ranker in the multiplexed replay depends on it.
+func TestEvaluateUserMultiMatchesDedicated(t *testing.T) {
+	const users = 40
+	periods := []timeutil.Duration{
+		timeutil.Days(7), timeutil.Days(30), timeutil.Days(60),
+		timeutil.Days(90), timeutil.Days(365),
+	}
+	// Identical histories in the multi-period evaluator and every
+	// dedicated one: regenerate with the same seed.
+	build := func(period timeutil.Duration) *Evaluator {
+		rng := rand.New(rand.NewSource(31))
+		e := NewEvaluator(period)
+		jobs := e.AddType("jobs", Operation)
+		logins := e.AddType("logins", Operation)
+		pubs := e.AddType("pubs", Outcome)
+		year := int64(timeutil.Days(365))
+		for u := 0; u < users; u++ {
+			for i, ty := range []TypeID{jobs, logins, pubs} {
+				if rng.Intn(4) == i {
+					continue
+				}
+				for j := 0; j < rng.Intn(40); j++ {
+					e.Record(ty, trace.UserID(u), timeutil.Time(rng.Int63n(2*year)), rng.Float64()*100)
+				}
+			}
+		}
+		return e
+	}
+
+	multi := build(periods[0]).NewCursors()
+	dedicated := make([]*Cursors, len(periods))
+	for i, d := range periods {
+		dedicated[i] = build(d).NewCursors()
+	}
+
+	year := timeutil.Time(timeutil.Days(365))
+	schedule := []timeutil.Time{0, year / 4, year / 2, year, year + 1, year / 3 /* backward */, 2 * year}
+	out := make([]Rank, len(periods))
+	for _, tc := range schedule {
+		for u := 0; u < users; u++ {
+			multi.EvaluateUserMulti(trace.UserID(u), tc, periods, out)
+			for pi := range periods {
+				want := dedicated[pi].EvaluateUser(trace.UserID(u), tc)
+				if out[pi] != want {
+					t.Fatalf("tc=%d user=%d period=%v: multi rank %+v != dedicated %+v",
+						tc, u, periods[pi], out[pi], want)
+				}
+			}
+		}
+	}
+}
+
 // TestCursorsSingleUserAdvance checks per-user evaluation (the
 // concurrent sharding entry point uses the direct path, but cursors
 // must agree when driven user by user too).

@@ -22,6 +22,10 @@ var deterministicPkgs = []string{
 	"internal/faults",
 	"internal/obs",
 	"internal/wal",
+	// The sweep orchestrator replays every figure's comparison through
+	// the multiplexed runner; its tables and figure data must be as
+	// bit-stable as the replays behind them.
+	"internal/experiments",
 }
 
 // nondetFuncs are the time package functions that read the wall

@@ -8,9 +8,10 @@
 package retention
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"time"
 
 	"activedr/internal/activeness"
@@ -177,6 +178,14 @@ type FLT struct {
 	// stop reallocating them. Makes an FLT value single-goroutine,
 	// which Purge already was (setCollectVictims, fault state).
 	scratch [][]vfs.Candidate
+	// merge is the reusable heap over the scratch slots; reset rebuilds
+	// it each trigger without reallocating its arrays.
+	merge candidateMerge
+	// affected marks which scratch slots (user positions) had a file
+	// purged this trigger, replacing a per-trigger map: slot order is
+	// user order, so flattening the marks reproduces the ascending
+	// AffectedIDs contract without a sort.
+	affected []bool
 }
 
 // Name identifies the policy.
@@ -226,8 +235,13 @@ func (f *FLT) Purge(fsys *vfs.FS, ranks []activeness.Rank, tc timeutil.Time) *Re
 	for i, u := range users {
 		f.scratch[i] = src.staleFiles(f.scratch[i][:0], u, cutoff)
 	}
-	merge := newCandidateMerge(f.scratch)
-	affected := make(map[trace.UserID]bool)
+	f.merge.reset(f.scratch)
+	merge := &f.merge
+	if cap(f.affected) < len(users) {
+		f.affected = make([]bool, len(users))
+	}
+	f.affected = f.affected[:len(users)]
+	clear(f.affected)
 	var examined int64
 	for merge.len() > 0 {
 		if budget >= 0 && examined >= budget {
@@ -240,7 +254,7 @@ func (f *FLT) Purge(fsys *vfs.FS, ranks []activeness.Rank, tc timeutil.Time) *Re
 		if f.StopAtTarget && target > 0 && report.PurgedBytes >= target {
 			break
 		}
-		c := merge.pop()
+		c, slot := merge.pop()
 		g := rankOf(ranks, c.Meta.User).Group()
 		if f.Reserved.Covers(c.Path) {
 			report.SkippedExempt++
@@ -253,7 +267,7 @@ func (f *FLT) Purge(fsys *vfs.FS, ranks []activeness.Rank, tc timeutil.Time) *Re
 			f.Probe.Failed(c.Path, int64(c.Meta.User), int(g), 0, c.Meta.Size)
 			continue
 		}
-		fsys.Remove(c.Path)
+		fsys.RemoveCandidate(c)
 		if f.CollectVictims {
 			report.Victims = append(report.Victims, c.Path)
 		}
@@ -262,12 +276,26 @@ func (f *FLT) Purge(fsys *vfs.FS, ranks []activeness.Rank, tc timeutil.Time) *Re
 		report.PurgedBytes += c.Meta.Size
 		report.Groups[g].PurgedFiles++
 		report.Groups[g].PurgedBytes += c.Meta.Size
-		if !affected[c.Meta.User] {
-			affected[c.Meta.User] = true
+		if !f.affected[slot] {
+			f.affected[slot] = true
 			report.Groups[g].AffectedUsers++
 		}
 	}
-	report.AffectedIDs = sortedIDs(affected)
+	// users is ascending (selection.go), so flattening the slot marks
+	// in order reproduces exactly what sortedIDs built from a set.
+	n := 0
+	for _, hit := range f.affected {
+		if hit {
+			n++
+		}
+	}
+	ids := make([]trace.UserID, 0, n)
+	for i, hit := range f.affected {
+		if hit {
+			ids = append(ids, users[i])
+		}
+	}
+	report.AffectedIDs = ids
 	report.TargetReached = !f.StopAtTarget || target == 0 || report.PurgedBytes >= target
 	report.Elapsed = timer.Elapsed()
 	return report
@@ -279,7 +307,7 @@ func sortedIDs(set map[trace.UserID]bool) []trace.UserID {
 	for u := range set {
 		ids = append(ids, u)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	return ids
 }
 
@@ -422,26 +450,29 @@ func (a *ActiveDR) orderUsers(users []trace.UserID, ranks []activeness.Rank) [][
 		g := r.Group()
 		byGroup[g] = append(byGroup[g], scanUser{id: u, rank: r})
 	}
+	// slices.SortFunc avoids sort.Slice's reflection-based swapper; the
+	// comparators are total orders (unique id tiebreak), so the result
+	// is algorithm-independent and the switch cannot reorder ties.
 	ascOpOc := func(us []scanUser) {
-		sort.Slice(us, func(i, j int) bool {
-			if us[i].rank.Op != us[j].rank.Op {
-				return us[i].rank.Op < us[j].rank.Op
+		slices.SortFunc(us, func(a, b scanUser) int {
+			if c := cmp.Compare(a.rank.Op, b.rank.Op); c != 0 {
+				return c
 			}
-			if us[i].rank.Oc != us[j].rank.Oc {
-				return us[i].rank.Oc < us[j].rank.Oc
+			if c := cmp.Compare(a.rank.Oc, b.rank.Oc); c != 0 {
+				return c
 			}
-			return us[i].id < us[j].id // stable tiebreak: never rely on input order
+			return cmp.Compare(a.id, b.id) // stable tiebreak: never rely on input order
 		})
 	}
 	ascOcOp := func(us []scanUser) {
-		sort.Slice(us, func(i, j int) bool {
-			if us[i].rank.Oc != us[j].rank.Oc {
-				return us[i].rank.Oc < us[j].rank.Oc
+		slices.SortFunc(us, func(a, b scanUser) int {
+			if c := cmp.Compare(a.rank.Oc, b.rank.Oc); c != 0 {
+				return c
 			}
-			if us[i].rank.Op != us[j].rank.Op {
-				return us[i].rank.Op < us[j].rank.Op
+			if c := cmp.Compare(a.rank.Op, b.rank.Op); c != 0 {
+				return c
 			}
-			return us[i].id < us[j].id // stable tiebreak: never rely on input order
+			return cmp.Compare(a.id, b.id) // stable tiebreak: never rely on input order
 		})
 	}
 	switch a.cfg.Order {
@@ -562,7 +593,7 @@ phaseLoop:
 						a.cfg.Probe.Failed(c.Path, int64(c.Meta.User), int(g), pass, c.Meta.Size)
 						continue
 					}
-					fsys.Remove(c.Path)
+					fsys.RemoveCandidate(c)
 					if a.cfg.CollectVictims {
 						report.Victims = append(report.Victims, c.Path)
 					}

@@ -106,35 +106,49 @@ func candLess(a, b vfs.Candidate) bool {
 // pays to order the prefix it actually consumes.
 type candidateMerge struct {
 	lists [][]vfs.Candidate // non-empty cursors, heap-ordered by head
+	slots []int32           // slots[i] is lists[i]'s position in the input
 }
 
 func newCandidateMerge(lists [][]vfs.Candidate) *candidateMerge {
-	m := &candidateMerge{lists: make([][]vfs.Candidate, 0, len(lists))}
-	for _, l := range lists {
+	m := &candidateMerge{}
+	m.reset(lists)
+	return m
+}
+
+// reset rebuilds the heap over a fresh set of input lists, reusing the
+// holder's backing arrays so a policy can keep one merge across
+// triggers without re-allocating it.
+func (m *candidateMerge) reset(lists [][]vfs.Candidate) {
+	m.lists = m.lists[:0]
+	m.slots = m.slots[:0]
+	for si, l := range lists {
 		if len(l) > 0 {
 			m.lists = append(m.lists, l)
+			m.slots = append(m.slots, int32(si))
 		}
 	}
 	for i := len(m.lists)/2 - 1; i >= 0; i-- {
 		m.siftDown(i)
 	}
-	return m
 }
 
 func (m *candidateMerge) len() int { return len(m.lists) }
 
-// pop removes and returns the globally smallest remaining candidate.
-func (m *candidateMerge) pop() vfs.Candidate {
-	c := m.lists[0][0]
+// pop removes and returns the globally smallest remaining candidate
+// and the input slot (user position) it came from.
+func (m *candidateMerge) pop() (vfs.Candidate, int32) {
+	c, slot := m.lists[0][0], m.slots[0]
 	if rest := m.lists[0][1:]; len(rest) > 0 {
 		m.lists[0] = rest
 	} else {
 		last := len(m.lists) - 1
 		m.lists[0] = m.lists[last]
+		m.slots[0] = m.slots[last]
 		m.lists = m.lists[:last]
+		m.slots = m.slots[:last]
 	}
 	m.siftDown(0)
-	return c
+	return c, slot
 }
 
 func (m *candidateMerge) siftDown(i int) {
@@ -150,6 +164,7 @@ func (m *candidateMerge) siftDown(i int) {
 			return
 		}
 		m.lists[i], m.lists[small] = m.lists[small], m.lists[i]
+		m.slots[i], m.slots[small] = m.slots[small], m.slots[i]
 		i = small
 	}
 }

@@ -1,0 +1,137 @@
+package sim
+
+// Columnar day-batched access feed (DESIGN.md §13). The access log is
+// pre-sliced into batches whose interiors contain no purge trigger and
+// no day boundary, and each batch's events are regrouped into per-path
+// runs (struct-of-arrays: one interned path id, a contiguous range of
+// event indexes). The multiplexed runner then fires triggers once per
+// batch boundary and applies each run with a single tree descent for
+// all lanes, instead of one descent per event per lane.
+//
+// The feed is a pure index over ds.Accesses — it never copies event
+// payloads — and is built once per trigger interval, then shared by
+// every multiplexed run over the same dataset.
+
+import (
+	"sort"
+
+	"activedr/internal/timeutil"
+	"activedr/internal/trace"
+)
+
+// colRun is one (path, batch) run: events order[off : off+n] all touch
+// paths[pid], in stream order.
+type colRun struct {
+	pid int32
+	off int32
+	n   int32
+}
+
+// colBatch covers ds.Accesses[start:end). Its interior crosses no day
+// boundary and no trigger-grid point, so the replay's per-event
+// bookkeeping (trigger firing, day bucketing, rank table) is constant
+// within it. first is the timestamp of the first event, which due
+// triggers fire at-or-before, exactly like Stream.Apply.
+type colBatch struct {
+	start, end int
+	first      timeutil.Time
+	runs       []colRun
+}
+
+// colFeed is the columnar view of one dataset under one trigger grid.
+type colFeed struct {
+	paths   []string // pid → path (interned from the access records)
+	order   []int32  // run-grouped permutation of event indexes
+	batches []colBatch
+}
+
+// buildColFeed slices the access log into day/trigger batches under
+// the grid t0+k*interval (t0 = snapshot time). ok is false when the
+// log is not usable columnar-ly — timestamps out of order or events
+// predating the snapshot — in which case the caller falls back to N
+// sequential replays (which also reproduce the predate error).
+func buildColFeed(ds *trace.Dataset, interval timeutil.Duration) (*colFeed, bool) {
+	acc := ds.Accesses
+	f := &colFeed{}
+	if len(acc) == 0 {
+		return f, true
+	}
+	t0 := ds.Snapshot.Taken
+	if acc[0].TS < t0 {
+		return nil, false
+	}
+	for i := 1; i < len(acc); i++ {
+		if acc[i].TS < acc[i-1].TS {
+			return nil, false
+		}
+	}
+	f.order = make([]int32, 0, len(acc))
+	pids := make(map[string]int32, 1024)
+	var (
+		pidSeen []int32 // batch number a pid last appeared in
+		pidRun  []int32 // its run index within that batch
+		batchNo int32   = -1
+		runs    []colRun
+	)
+	flush := func(start, end int) {
+		batchNo++
+		runs = runs[:0]
+		for i := start; i < end; i++ {
+			p := acc[i].Path
+			pid, ok := pids[p]
+			if !ok {
+				pid = int32(len(f.paths))
+				pids[p] = pid
+				f.paths = append(f.paths, p)
+				pidSeen = append(pidSeen, -1)
+				pidRun = append(pidRun, 0)
+			}
+			if pidSeen[pid] != batchNo {
+				pidSeen[pid] = batchNo
+				pidRun[pid] = int32(len(runs))
+				runs = append(runs, colRun{pid: pid})
+			}
+			runs[pidRun[pid]].n++
+		}
+		off := int32(len(f.order))
+		for r := range runs {
+			runs[r].off = off
+			off += runs[r].n
+			runs[r].n = 0 // reused as the fill cursor below
+		}
+		f.order = append(f.order, make([]int32, int(off)-len(f.order))...)
+		for i := start; i < end; i++ {
+			r := &runs[pidRun[pids[acc[i].Path]]]
+			f.order[r.off+r.n] = int32(i)
+			r.n++
+		}
+		b := colBatch{start: start, end: end, first: acc[start].TS, runs: make([]colRun, len(runs))}
+		copy(b.runs, runs)
+		// Runs apply in path order — deterministic regardless of how the
+		// day's events interleave, and friendly to the shared tree.
+		sort.Slice(b.runs, func(a, c int) bool { return f.paths[b.runs[a].pid] < f.paths[b.runs[c].pid] })
+		f.batches = append(f.batches, b)
+	}
+	// nextGrid tracks the lowest trigger-grid point strictly after every
+	// event seen so far: an event at-or-past it must fire triggers first
+	// (Stream.fireTriggers), so it starts a new batch.
+	nextGrid := t0.Add(interval)
+	for nextGrid <= acc[0].TS {
+		nextGrid = nextGrid.Add(interval)
+	}
+	day := acc[0].TS.StartOfDay()
+	start := 0
+	for i := 1; i < len(acc); i++ {
+		ts := acc[i].TS
+		if ts >= nextGrid || ts.StartOfDay() != day {
+			flush(start, i)
+			start = i
+			day = ts.StartOfDay()
+			for nextGrid <= ts {
+				nextGrid = nextGrid.Add(interval)
+			}
+		}
+	}
+	flush(start, len(acc))
+	return f, true
+}

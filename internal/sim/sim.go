@@ -184,6 +184,15 @@ func New(ds *trace.Dataset, cfg Config) (*Emulator, error) {
 	if cfg.Capacity == 0 {
 		cfg.Capacity = base.TotalBytes()
 	}
+	eval := newEvaluator(ds, cfg)
+	return &Emulator{ds: ds, cfg: cfg, base: base, eval: eval, users: len(ds.Users)}, nil
+}
+
+// newEvaluator indexes the dataset's activity traces for one
+// configuration. The result depends only on (PeriodLength, UseLogins,
+// UseTransfers), which is what the multiplexed runner keys its
+// evaluator cache by.
+func newEvaluator(ds *trace.Dataset, cfg Config) *activeness.Evaluator {
 	eval := activeness.NewEvaluator(cfg.PeriodLength)
 	jobT := eval.AddType("job-submission", activeness.Operation)
 	pubT := eval.AddType("publication", activeness.Outcome)
@@ -197,7 +206,7 @@ func New(ds *trace.Dataset, cfg Config) (*Emulator, error) {
 		tt := eval.AddType("data-transfer", activeness.Operation)
 		eval.RecordTransfers(tt, ds.Transfers)
 	}
-	return &Emulator{ds: ds, cfg: cfg, base: base, eval: eval, users: len(ds.Users)}, nil
+	return eval
 }
 
 // Config returns the effective configuration.
@@ -247,6 +256,12 @@ type RunOptions struct {
 	// CheckpointEvery spaces checkpoints to one every N triggers.
 	// Zero or negative means every trigger.
 	CheckpointEvery int
+	// CheckpointFullEvery makes only every Kth checkpoint a full
+	// snapshot; the ones between persist a delta against the previous
+	// checkpoint, so checkpoint cost scales with the mutation rate
+	// instead of the tree size. ≤ 1 keeps every checkpoint full (the
+	// historical format).
+	CheckpointFullEvery int
 	// Faults threads a deterministic fault injector through the
 	// policy (via retention.FaultSink) and through the checkpoint
 	// layer, which saves and restores its stream position.
@@ -286,24 +301,41 @@ type runState struct {
 	captured    bool
 	lastSnap    timeutil.Time
 	triggers    int // purge triggers fired so far
+	// Checkpoint-cadence state: how many checkpoints this run has
+	// written (keys the full/delta rotation), the name of the newest
+	// one (a delta's base), and which sidecars it already carries so
+	// deltas only ship what is new since then.
+	ckpts         int
+	lastCkpt      string
+	snapsSaved    int
+	capturedSaved bool
 	// cursors memoizes each user's activity position across the run's
 	// monotone trigger times; it is per-run state (not shared), so
 	// parallel runs off one emulator stay independent.
 	cursors *activeness.Cursors
+	// ranker evaluates every user's activeness rank at a trigger time.
+	// A solo run closes over its own cursors; multiplexed lanes with
+	// identical evaluator inputs share one memoized rank table per
+	// trigger instead of re-ranking per lane.
+	ranker func(at timeutil.Time) []activeness.Rank
 }
 
 // freshState initializes the replay at the reference snapshot.
 func (e *Emulator) freshState(policy retention.Policy) *runState {
 	t0 := e.ds.Snapshot.Taken
 	cursors := e.eval.NewCursors()
+	ranker := func(at timeutil.Time) []activeness.Rank {
+		return cursors.EvaluateAll(e.users, at)
+	}
 	return &runState{
 		fsys:        e.base.Clone(),
 		res:         &Result{Policy: policy.Name()},
 		nextTrigger: t0.Add(e.cfg.TriggerInterval),
-		ranks:       cursors.EvaluateAll(e.users, t0),
+		ranks:       ranker(t0),
 		ranksAt:     t0,
 		captured:    e.cfg.CaptureAt == 0,
 		cursors:     cursors,
+		ranker:      ranker,
 	}
 }
 

@@ -55,6 +55,11 @@ func (e *Emulator) newStream(policy retention.Policy, opts RunOptions, st *runSt
 	if every <= 0 {
 		every = 1
 	}
+	if opts.CheckpointDir != "" && opts.CheckpointFullEvery > 1 {
+		// Delta checkpoints diff against the previous checkpoint, so
+		// the FS must record its mutation working set from the start.
+		st.fsys.TrackDirty()
+	}
 	s := &Stream{e: e, policy: policy, opts: opts, st: st, ro: ro, every: every}
 	if n := len(st.res.Days); n > 0 {
 		// Resume mid-day: keep appending to the tail day's stats.
@@ -122,7 +127,7 @@ func (s *Stream) dayFor(ts timeutil.Time) *DayStats {
 // trigger fires one purge trigger at its scheduled time.
 func (s *Stream) trigger(at timeutil.Time) {
 	e, st, res := s.e, s.st, s.st.res
-	st.ranks = st.cursors.EvaluateAll(e.users, at)
+	st.ranks = st.ranker(at)
 	st.ranksAt = at
 	if !st.captured && at >= e.cfg.CaptureAt {
 		res.Captured = st.fsys.Clone()

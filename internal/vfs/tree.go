@@ -87,25 +87,29 @@ func (n *rnode[V]) insertChild(i int, child *rnode[V]) {
 	n.childKeys[i] = child.label[0]
 }
 
-// put inserts or replaces key. It reports whether the key was new and
-// returns the previous value when it was not.
-func (t *radix[V]) put(key string, v V) (prev V, existed bool) {
+// put inserts or replaces key. It returns the terminal node now
+// holding the value (stable for the key's lifetime: splits keep the
+// existing child object and deletes of other keys merge around it, so
+// callers may cache the pointer until the key itself is deleted),
+// whether the key was new, and the previous value when it was not.
+func (t *radix[V]) put(key string, v V) (node *rnode[V], prev V, existed bool) {
 	if key == "" {
 		prev, existed = t.root.value, t.root.terminal
 		t.root.value, t.root.terminal = v, true
 		if !existed {
 			t.count++
 		}
-		return prev, existed
+		return t.root, prev, existed
 	}
 	n := t.root
 	rest := key
 	for {
 		i, ok := n.childIndex(rest[0])
 		if !ok {
-			n.insertChild(i, &rnode[V]{label: rest, value: v, terminal: true})
+			leaf := &rnode[V]{label: rest, value: v, terminal: true}
+			n.insertChild(i, leaf)
 			t.count++
-			return prev, false
+			return leaf, prev, false
 		}
 		child := n.children[i]
 		cp := commonPrefixLen(rest, child.label)
@@ -116,7 +120,7 @@ func (t *radix[V]) put(key string, v V) (prev V, existed bool) {
 				if !existed {
 					t.count++
 				}
-				return prev, existed
+				return child, prev, existed
 			}
 			n, rest = child, rest[cp:]
 			continue
@@ -129,19 +133,21 @@ func (t *radix[V]) put(key string, v V) (prev V, existed bool) {
 		split.childKeys = []byte{child.label[0]}
 		if cp == len(rest) {
 			split.value, split.terminal = v, true
+			n.children[i] = split
+			t.count++
+			return split, prev, false
+		}
+		leaf := &rnode[V]{label: rest[cp:], value: v, terminal: true}
+		if leaf.label[0] < child.label[0] {
+			split.children = []*rnode[V]{leaf, child}
+			split.childKeys = []byte{leaf.label[0], child.label[0]}
 		} else {
-			leaf := &rnode[V]{label: rest[cp:], value: v, terminal: true}
-			if leaf.label[0] < child.label[0] {
-				split.children = []*rnode[V]{leaf, child}
-				split.childKeys = []byte{leaf.label[0], child.label[0]}
-			} else {
-				split.children = []*rnode[V]{child, leaf}
-				split.childKeys = []byte{child.label[0], leaf.label[0]}
-			}
+			split.children = []*rnode[V]{child, leaf}
+			split.childKeys = []byte{child.label[0], leaf.label[0]}
 		}
 		n.children[i] = split
 		t.count++
-		return prev, false
+		return leaf, prev, false
 	}
 }
 

@@ -28,7 +28,7 @@ func TestRadixArbitraryKeys(t *testing.T) {
 		switch src.Intn(3) {
 		case 0:
 			v := src.Intn(1000)
-			prev, existed := tree.put(k, v)
+			_, prev, existed := tree.put(k, v)
 			wantPrev, wantExisted := model[k]
 			if existed != wantExisted || (existed && prev != wantPrev) {
 				t.Fatalf("step %d: put(%q) = (%d,%v), want (%d,%v)", step, k, prev, existed, wantPrev, wantExisted)
