@@ -24,29 +24,78 @@ import (
 	"activedr/internal/vfs"
 )
 
+// options carries every flag; validate fail-fasts on garbage before
+// any dataset I/O starts (the PR-5 contract).
+type options struct {
+	data     string
+	policy   string
+	lifetime int
+	target   float64
+	atStr    string
+	reserve  string
+	strict   bool
+	explain  string
+	dryRun   bool
+}
+
+func parseFlags() *options {
+	o := &options{}
+	flag.StringVar(&o.data, "data", "data", "dataset directory (from tracegen)")
+	flag.StringVar(&o.policy, "policy", "activedr", "policy: activedr or flt")
+	flag.IntVar(&o.lifetime, "lifetime", 90, "initial file lifetime in days")
+	flag.Float64Var(&o.target, "target", 0.5, "purge target utilization (0 disables)")
+	flag.StringVar(&o.atStr, "at", "2016-08-23", "purge trigger date (YYYY-MM-DD)")
+	flag.StringVar(&o.reserve, "reserve", "", "optional file with reserved paths, one per line")
+	flag.BoolVar(&o.strict, "strict-eq7", false, "use the literal Eq. (7) lifetime product")
+	flag.StringVar(&o.explain, "explain", "", "print the activeness audit of one user (login name) and exit")
+	flag.BoolVar(&o.dryRun, "dry-run", false, "plan the purge without applying it and list the victims")
+	flag.Parse()
+	return o
+}
+
+func (o *options) validate() error {
+	if o.data == "" {
+		return fmt.Errorf("-data must name a dataset directory")
+	}
+	switch strings.ToLower(o.policy) {
+	case "flt", "activedr":
+	default:
+		return fmt.Errorf("unknown -policy %q (want flt or activedr)", o.policy)
+	}
+	if o.lifetime < 1 {
+		return fmt.Errorf("-lifetime must be >= 1 day, got %d", o.lifetime)
+	}
+	if !(o.target >= 0 && o.target <= 1) {
+		return fmt.Errorf("-target must be in [0,1], got %v", o.target)
+	}
+	if _, err := time.Parse("2006-01-02", o.atStr); err != nil {
+		return fmt.Errorf("bad -at date: %w", err)
+	}
+	if o.reserve != "" {
+		if _, err := os.Stat(o.reserve); err != nil {
+			return fmt.Errorf("-reserve: %w", err)
+		}
+	}
+	if o.explain != "" && o.dryRun {
+		return fmt.Errorf("-explain and -dry-run are mutually exclusive: -explain prints the audit and exits before any purge is planned")
+	}
+	return nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("activedr: ")
-	var (
-		data     = flag.String("data", "data", "dataset directory (from tracegen)")
-		policy   = flag.String("policy", "activedr", "policy: activedr or flt")
-		lifetime = flag.Int("lifetime", 90, "initial file lifetime in days")
-		target   = flag.Float64("target", 0.5, "purge target utilization (0 disables)")
-		atStr    = flag.String("at", "2016-08-23", "purge trigger date (YYYY-MM-DD)")
-		reserve  = flag.String("reserve", "", "optional file with reserved paths, one per line")
-		strict   = flag.Bool("strict-eq7", false, "use the literal Eq. (7) lifetime product")
-		explain  = flag.String("explain", "", "print the activeness audit of one user (login name) and exit")
-		dryRun   = flag.Bool("dry-run", false, "plan the purge without applying it and list the victims")
-	)
-	flag.Parse()
-
-	at, err := time.Parse("2006-01-02", *atStr)
+	o := parseFlags()
+	if err := o.validate(); err != nil {
+		log.Fatal(err)
+	}
+	at, err := time.Parse("2006-01-02", o.atStr)
 	if err != nil {
 		log.Fatalf("bad -at date: %v", err)
 	}
 	tc := timeutil.FromGo(at)
 
-	ds, err := trace.LoadDataset(*data)
+	ds, err := trace.LoadDataset(o.data)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,22 +104,22 @@ func main() {
 		log.Fatal(err)
 	}
 	var reserved *vfs.ReservedSet
-	if *reserve != "" {
-		reserved, err = loadReserved(*reserve)
+	if o.reserve != "" {
+		reserved, err = loadReserved(o.reserve)
 		if err != nil {
 			log.Fatal(err)
 		}
 	}
 
-	ev := activeness.NewEvaluator(timeutil.Days(*lifetime))
+	ev := activeness.NewEvaluator(timeutil.Days(o.lifetime))
 	jt := ev.AddType("job-submission", activeness.Operation)
 	pt := ev.AddType("publication", activeness.Outcome)
 	ev.RecordJobs(jt, ds.Jobs)
 	ev.RecordPublications(pt, ds.Publications)
-	if *explain != "" {
-		uid := ds.UserByName(*explain)
+	if o.explain != "" {
+		uid := ds.UserByName(o.explain)
 		if uid == trace.NoUser {
-			log.Fatalf("unknown user %q", *explain)
+			log.Fatalf("unknown user %q", o.explain)
 		}
 		fmt.Print(ev.Explain(uid, tc))
 		return
@@ -78,27 +127,27 @@ func main() {
 	ranks := ev.EvaluateAll(len(ds.Users), tc)
 
 	var p retention.Policy
-	switch strings.ToLower(*policy) {
+	switch strings.ToLower(o.policy) {
 	case "flt":
-		p = &retention.FLT{Lifetime: timeutil.Days(*lifetime), Reserved: reserved}
+		p = &retention.FLT{Lifetime: timeutil.Days(o.lifetime), Reserved: reserved}
 	case "activedr":
 		adr, err := retention.NewActiveDR(retention.Config{
-			Lifetime:          timeutil.Days(*lifetime),
+			Lifetime:          timeutil.Days(o.lifetime),
 			Capacity:          fsys.TotalBytes(),
-			TargetUtilization: *target,
+			TargetUtilization: o.target,
 			Reserved:          reserved,
-			StrictEq7:         *strict,
+			StrictEq7:         o.strict,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		p = adr
 	default:
-		log.Fatalf("unknown policy %q (want flt or activedr)", *policy)
+		log.Fatalf("unknown policy %q (want flt or activedr)", o.policy)
 	}
 
 	var rep *retention.Report
-	if *dryRun {
+	if o.dryRun {
 		rep = retention.Plan(p, fsys, ranks, tc)
 		fmt.Printf("DRY RUN — nothing was purged; %d victims:\n", len(rep.Victims))
 		for i, v := range rep.Victims {

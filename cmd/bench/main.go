@@ -25,6 +25,8 @@ import (
 	"log"
 	"os"
 	"os/exec"
+	"path/filepath"
+	"regexp"
 	"runtime"
 	"sort"
 	"strconv"
@@ -56,33 +58,89 @@ type Trajectory struct {
 	Runs []Run `json:"runs"`
 }
 
+// options carries every flag; validate fail-fasts before the (long)
+// benchmark run starts.
+type options struct {
+	bench     string
+	benchtime string
+	count     int
+	short     bool
+	pkgs      string
+	label     string
+	out       string
+	input     string
+	date      string
+}
+
+func parseFlags() *options {
+	o := &options{}
+	flag.StringVar(&o.bench, "bench", ".", "benchmark pattern passed to go test -bench")
+	flag.StringVar(&o.benchtime, "benchtime", "", "passed to go test -benchtime (empty = go default)")
+	flag.IntVar(&o.count, "count", 1, "passed to go test -count")
+	flag.BoolVar(&o.short, "short", false, "pass -short (skips the million-file namespaces)")
+	flag.StringVar(&o.pkgs, "pkgs", "./...", "comma-separated package patterns to benchmark")
+	flag.StringVar(&o.label, "label", "", "free-form tag recorded with the run (e.g. before, after, smoke)") //lint:allow flagvalidate label is a free-form tag: every string is a valid value, there is nothing to range-check
+	flag.StringVar(&o.out, "o", "", "output file (empty = BENCH_<date>.json in the working directory)")
+	flag.StringVar(&o.input, "input", "", "record results from an existing go test -bench output file instead of running the suite")
+	flag.StringVar(&o.date, "date", "", "run timestamp, RFC3339 or YYYY-MM-DD (default: current time); stamps the record and the default output name")
+	flag.Parse()
+	return o
+}
+
+func (o *options) validate() error {
+	if _, err := regexp.Compile(o.bench); err != nil {
+		return fmt.Errorf("-bench is not a valid pattern: %v", err)
+	}
+	if o.benchtime != "" && !benchtimeRe.MatchString(o.benchtime) {
+		return fmt.Errorf("-benchtime must be a duration (10s) or an iteration count (100x), got %q", o.benchtime)
+	}
+	if o.count < 1 {
+		return fmt.Errorf("-count must be >= 1, got %d", o.count)
+	}
+	if strings.TrimSpace(o.pkgs) == "" {
+		return fmt.Errorf("-pkgs must name at least one package pattern")
+	}
+	if o.input != "" {
+		if _, err := os.Stat(o.input); err != nil {
+			return fmt.Errorf("-input: %w", err)
+		}
+	}
+	if o.out != "" {
+		if _, err := os.Stat(filepath.Dir(o.out)); err != nil {
+			return fmt.Errorf("-o: parent directory: %w", err)
+		}
+	}
+	if o.date != "" {
+		if _, err := resolveDate(o.date); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// benchtimeRe mirrors go test's accepted -benchtime shapes: a
+// Go duration or an explicit iteration count.
+var benchtimeRe = regexp.MustCompile(`^([0-9]+(\.[0-9]+)?(ns|us|µs|ms|s|m|h))+$|^[0-9]+x$`)
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bench: ")
-	var (
-		bench     = flag.String("bench", ".", "benchmark pattern passed to go test -bench")
-		benchtime = flag.String("benchtime", "", "passed to go test -benchtime (empty = go default)")
-		count     = flag.Int("count", 1, "passed to go test -count")
-		short     = flag.Bool("short", false, "pass -short (skips the million-file namespaces)")
-		pkgs      = flag.String("pkgs", "./...", "comma-separated package patterns to benchmark")
-		label     = flag.String("label", "", "free-form tag recorded with the run (e.g. before, after, smoke)")
-		out       = flag.String("o", "", "output file (empty = BENCH_<date>.json in the working directory)")
-		input     = flag.String("input", "", "record results from an existing go test -bench output file instead of running the suite")
-		date      = flag.String("date", "", "run timestamp, RFC3339 or YYYY-MM-DD (default: current time); stamps the record and the default output name")
-	)
-	flag.Parse()
+	o := parseFlags()
+	if err := o.validate(); err != nil {
+		log.Fatal(err)
+	}
 
 	// The wall clock is read here, at the CLI edge, and only when no
 	// -date was given: everything below is a pure function of its
 	// inputs, which keeps the tool honest under the nondeterminism
 	// lint rule and lets tests pin the trajectory file name.
-	now, err := resolveDate(*date)
+	now, err := resolveDate(o.date)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	if *input != "" {
-		f, err := os.Open(*input)
+	if o.input != "" {
+		f, err := os.Open(o.input)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -91,19 +149,19 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		record(*out, Run{Label: *label, Go: runtime.Version(),
-			Args: []string{"-input", *input}, Benchmarks: benches}, now)
+		record(o.out, Run{Label: o.label, Go: runtime.Version(),
+			Args: []string{"-input", o.input}, Benchmarks: benches}, now)
 		return
 	}
 
-	args := []string{"test", "-run=^$", "-bench", *bench, "-benchmem", "-count", strconv.Itoa(*count)}
-	if *benchtime != "" {
-		args = append(args, "-benchtime", *benchtime)
+	args := []string{"test", "-run=^$", "-bench", o.bench, "-benchmem", "-count", strconv.Itoa(o.count)}
+	if o.benchtime != "" {
+		args = append(args, "-benchtime", o.benchtime)
 	}
-	if *short {
+	if o.short {
 		args = append(args, "-short")
 	}
-	args = append(args, strings.Split(*pkgs, ",")...)
+	args = append(args, strings.Split(o.pkgs, ",")...)
 
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
@@ -122,9 +180,9 @@ func main() {
 		log.Fatal(perr)
 	}
 	if len(benches) == 0 {
-		log.Fatalf("no benchmarks matched %q", *bench)
+		log.Fatalf("no benchmarks matched %q", o.bench)
 	}
-	record(*out, Run{Label: *label, Go: runtime.Version(), Args: args, Benchmarks: benches}, now)
+	record(o.out, Run{Label: o.label, Go: runtime.Version(), Args: args, Benchmarks: benches}, now)
 }
 
 // resolveDate parses the -date flag, defaulting to the current time.

@@ -17,30 +17,96 @@ import (
 	"io"
 	"log"
 	"os"
+	"path/filepath"
 
 	"activedr/internal/experiments"
 	"activedr/internal/profiling"
 	"activedr/internal/trace"
 )
 
+// figNames are the renderable figure/table selectors; validate checks
+// -fig against them before any dataset work starts.
+var figNames = map[string]bool{
+	"all": true, "t1": true, "1": true, "5": true, "6": true, "7": true,
+	"8": true, "9": true, "10": true, "11": true, "12": true, "ablation": true,
+}
+
+// options carries every flag; validate fail-fasts on garbage before
+// the (potentially minutes-long) dataset generation starts.
+type options struct {
+	data    string
+	users   int
+	seed    uint64
+	fig     string
+	out     string
+	ranks   int
+	lenient bool
+	events  string
+
+	cpuProfile string
+	memProfile string
+}
+
+func parseFlags() *options {
+	o := &options{}
+	flag.StringVar(&o.data, "data", "", "dataset directory (empty = generate synthetic)")
+	flag.IntVar(&o.users, "users", 2000, "synthetic user count (when -data is empty)")
+	flag.Uint64Var(&o.seed, "seed", 0, "synthetic seed (when -data is empty)")
+	flag.StringVar(&o.fig, "fig", "all", "figure/table to render: all, t1, 1, 5, 6, 7, 8, 9, 10, 11, 12, ablation")
+	flag.StringVar(&o.out, "o", "", "output file (empty = stdout)")
+	flag.IntVar(&o.ranks, "ranks", 4, "parallel ranks for the replay sweep and Figure 12")
+	flag.BoolVar(&o.lenient, "lenient", false, "quarantine malformed trace lines instead of aborting")
+	flag.StringVar(&o.events, "events", "", "render a per-trigger summary of this telemetry stream (from simulate -events-out) instead of figures")
+	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile of the figure runs to this file")
+	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile at exit to this file")
+	flag.Parse()
+	return o
+}
+
+func (o *options) validate() error {
+	if !figNames[o.fig] {
+		return fmt.Errorf("unknown -fig %q (want all, t1, 1, 5, 6, 7, 8, 9, 10, 11, 12, or ablation)", o.fig)
+	}
+	if o.users < 1 {
+		return fmt.Errorf("-users must be >= 1, got %d", o.users)
+	}
+	if o.ranks < 1 {
+		return fmt.Errorf("-ranks must be >= 1, got %d", o.ranks)
+	}
+	if o.data != "" {
+		if _, err := os.Stat(o.data); err != nil {
+			return fmt.Errorf("-data: %w", err)
+		}
+	}
+	if o.events != "" {
+		if _, err := os.Stat(o.events); err != nil {
+			return fmt.Errorf("-events: %w", err)
+		}
+	}
+	// Output paths fail fast on a missing parent directory rather
+	// than after the figures have been computed.
+	for _, p := range []struct{ flag, path string }{
+		{"-o", o.out}, {"-cpuprofile", o.cpuProfile}, {"-memprofile", o.memProfile},
+	} {
+		if p.path == "" {
+			continue
+		}
+		dir := filepath.Dir(p.path)
+		if _, err := os.Stat(dir); err != nil {
+			return fmt.Errorf("%s: parent directory: %w", p.flag, err)
+		}
+	}
+	return nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("report: ")
-	var (
-		data    = flag.String("data", "", "dataset directory (empty = generate synthetic)")
-		users   = flag.Int("users", 2000, "synthetic user count (when -data is empty)")
-		seed    = flag.Uint64("seed", 0, "synthetic seed (when -data is empty)")
-		fig     = flag.String("fig", "all", "figure/table to render: all, t1, 1, 5, 6, 7, 8, 9, 10, 11, 12, ablation")
-		out     = flag.String("o", "", "output file (empty = stdout)")
-		ranks   = flag.Int("ranks", 4, "parallel ranks for the replay sweep and Figure 12")
-		lenient = flag.Bool("lenient", false, "quarantine malformed trace lines instead of aborting")
-		events  = flag.String("events", "", "render a per-trigger summary of this telemetry stream (from simulate -events-out) instead of figures")
-
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the figure runs to this file")
-		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
-	)
-	flag.Parse()
-	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	o := parseFlags()
+	if err := o.validate(); err != nil {
+		log.Fatal(err)
+	}
+	stopProfiles, err := profiling.Start(o.cpuProfile, o.memProfile)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,8 +117,8 @@ func main() {
 	}()
 
 	var w io.Writer = os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	if o.out != "" {
+		f, err := os.Create(o.out)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -64,8 +130,8 @@ func main() {
 		w = f
 	}
 
-	if *events != "" {
-		ef, err := os.Open(*events)
+	if o.events != "" {
+		ef, err := os.Open(o.events)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -77,8 +143,8 @@ func main() {
 	}
 
 	var suite *experiments.Suite
-	if *data != "" {
-		ds, rep, err := trace.LoadDatasetWith(*data, trace.ReadOptions{Lenient: *lenient})
+	if o.data != "" {
+		ds, rep, err := trace.LoadDatasetWith(o.data, trace.ReadOptions{Lenient: o.lenient})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -87,14 +153,14 @@ func main() {
 		}
 		suite = experiments.NewSuite(ds)
 	} else {
-		s, err := experiments.NewSyntheticSuite(*users, *seed)
+		s, err := experiments.NewSyntheticSuite(o.users, o.seed)
 		if err != nil {
 			log.Fatal(err)
 		}
 		suite = s
 	}
 
-	if err := render(suite, *fig, w, *ranks); err != nil {
+	if err := render(suite, o.fig, w, o.ranks); err != nil {
 		log.Fatal(err)
 	}
 }

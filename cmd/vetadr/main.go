@@ -1,15 +1,19 @@
 // Command vetadr runs the repository's custom static-analysis suite
 // (internal/lint) over the given package patterns and fails on any
 // finding. It mechanically enforces the invariants replayable
-// emulation depends on; see DESIGN.md §9 for the rule catalogue and
-// the //lint:allow escape hatch.
+// emulation depends on; see DESIGN.md §9 and §14 for the rule
+// catalogue and the //lint:allow escape hatch.
 //
 // Usage:
 //
-//	vetadr [-json] [-rules nondeterminism,maporder,...] [patterns]
+//	vetadr [-json|-sarif] [-rules nondeterminism,maporder,...] [patterns]
+//	vetadr -list [-json]
+//	vetadr -suppressions [patterns]
 //
 // Patterns default to ./... resolved against the enclosing module.
-// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+// -suppressions lists every //lint:allow directive in the tree and
+// fails on stale rules or empty reasons. Exit status: 0 clean, 1
+// findings (or bad suppressions), 2 usage or load failure.
 package main
 
 import (
@@ -22,35 +26,84 @@ import (
 	"activedr/internal/lint"
 )
 
-func main() {
-	var (
-		jsonOut = flag.Bool("json", false, "emit findings as a JSON array on stdout")
-		rules   = flag.String("rules", "", "comma-separated rule subset (default: all)")
-		list    = flag.Bool("list", false, "list available rules and exit")
-	)
+// options carries every flag; validate fail-fasts before any package
+// loading starts.
+type options struct {
+	jsonOut      bool
+	sarifOut     bool
+	rules        string
+	list         bool
+	suppressions bool
+}
+
+func parseFlags() *options {
+	o := &options{}
+	flag.BoolVar(&o.jsonOut, "json", false, "emit findings (or -list rules) as a JSON array on stdout")
+	flag.BoolVar(&o.sarifOut, "sarif", false, "emit findings as SARIF 2.1.0 on stdout (for CI annotation)")
+	flag.StringVar(&o.rules, "rules", "", "comma-separated rule subset (default: all)")
+	flag.BoolVar(&o.list, "list", false, "list available rules and exit")
+	flag.BoolVar(&o.suppressions, "suppressions", false, "audit //lint:allow directives: list all, fail on stale rule or empty reason")
 	flag.Parse()
+	return o
+}
+
+func (o *options) validate() error {
+	if o.rules != "" {
+		known := make(map[string]bool)
+		for _, n := range lint.AnalyzerNames() {
+			known[n] = true
+		}
+		for _, r := range strings.Split(o.rules, ",") {
+			if !known[strings.TrimSpace(r)] {
+				return fmt.Errorf("unknown rule %q in -rules (try -list)", strings.TrimSpace(r))
+			}
+		}
+	}
+	if o.jsonOut && o.sarifOut {
+		return fmt.Errorf("-json and -sarif are mutually exclusive")
+	}
+	return nil
+}
+
+func main() {
+	o := parseFlags()
+	if err := o.validate(); err != nil {
+		fatalf("%v", err)
+	}
 
 	analyzers := lint.Analyzers()
-	if *list {
+	if o.list {
+		if o.jsonOut {
+			type rule struct {
+				Name string `json:"name"`
+				Doc  string `json:"doc"`
+			}
+			var rs []rule
+			for _, a := range analyzers {
+				rs = append(rs, rule{a.Name, a.Doc})
+			}
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rs); err != nil {
+				fatalf("%v", err)
+			}
+			return
+		}
 		for _, a := range analyzers {
 			fmt.Printf("%-26s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
-	if *rules != "" {
+	if o.rules != "" {
 		want := make(map[string]bool)
-		for _, r := range strings.Split(*rules, ",") {
+		for _, r := range strings.Split(o.rules, ",") {
 			want[strings.TrimSpace(r)] = true
 		}
 		var picked []*lint.Analyzer
 		for _, a := range analyzers {
 			if want[a.Name] {
 				picked = append(picked, a)
-				delete(want, a.Name)
 			}
-		}
-		for r := range want {
-			fatalf("unknown rule %q (try -list)", r)
 		}
 		analyzers = picked
 	}
@@ -64,12 +117,21 @@ func main() {
 		fatalf("%v", err)
 	}
 
+	if o.suppressions {
+		os.Exit(auditSuppressions(pkgs, loader.ModuleRoot))
+	}
+
 	var findings []lint.Diagnostic
 	for _, pkg := range pkgs {
 		findings = append(findings, lint.Check(pkg, analyzers)...)
 	}
 
-	if *jsonOut {
+	switch {
+	case o.sarifOut:
+		if err := writeSARIF(os.Stdout, analyzers, findings, loader.ModuleRoot); err != nil {
+			fatalf("%v", err)
+		}
+	case o.jsonOut:
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if findings == nil {
@@ -78,17 +140,51 @@ func main() {
 		if err := enc.Encode(findings); err != nil {
 			fatalf("%v", err)
 		}
-	} else {
+	default:
 		for _, d := range findings {
 			fmt.Println(d)
 		}
 	}
 	if len(findings) > 0 {
-		if !*jsonOut {
+		if !o.jsonOut && !o.sarifOut {
 			fmt.Fprintf(os.Stderr, "vetadr: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
 		}
 		os.Exit(1)
 	}
+}
+
+// auditSuppressions lists every //lint:allow directive and returns
+// the exit code: 1 when any directive names a dead rule or carries no
+// reason, 0 otherwise.
+func auditSuppressions(pkgs []*lint.Package, root string) int {
+	bad := 0
+	total := 0
+	for _, pkg := range pkgs {
+		for _, s := range lint.Suppressions(pkg) {
+			total++
+			problem := ""
+			switch {
+			case s.Rule == "":
+				problem = "MISSING RULE"
+			case !s.KnownRule:
+				problem = "STALE RULE"
+			case s.Reason == "":
+				problem = "EMPTY REASON"
+			}
+			loc := fmt.Sprintf("%s:%d", relPath(s.File, root), s.Line)
+			if problem != "" {
+				bad++
+				fmt.Printf("%s\t%s\t%s\t%s\n", loc, s.Rule, problem, s.Reason)
+				continue
+			}
+			fmt.Printf("%s\t%s\tok\t%s\n", loc, s.Rule, s.Reason)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "vetadr: %d suppression(s), %d bad\n", total, bad)
+	if bad > 0 {
+		return 1
+	}
+	return 0
 }
 
 func fatalf(format string, args ...any) {

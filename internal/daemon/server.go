@@ -199,21 +199,33 @@ type planResponse struct {
 
 func (d *Daemon) handlePlan(w http.ResponseWriter, r *http.Request) {
 	userName := r.URL.Query().Get("user")
+	// Compute the whole response under the lock, release, then write:
+	// a slow client must not stall the applier (or every other
+	// handler) on d.mu for the duration of the network write.
+	resp, status, err := d.planLocked(userName)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// planLocked builds /v1/plan's response body under d.mu. On error the
+// returned status is the HTTP code to send.
+func (d *Daemon) planLocked(userName string) (planResponse, int, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	var uid int = -1
 	if userName != "" {
 		id, ok := d.byName[userName]
 		if !ok {
-			writeError(w, http.StatusNotFound, fmt.Errorf("unknown user %q", userName))
-			return
+			return planResponse{}, http.StatusNotFound, fmt.Errorf("unknown user %q", userName)
 		}
 		uid = int(id)
 	}
 	rep, err := d.dryRunPlan()
 	if err != nil {
-		writeError(w, http.StatusConflict, err)
-		return
+		return planResponse{}, http.StatusConflict, err
 	}
 	resp := planResponse{
 		At:            rep.At,
@@ -237,7 +249,7 @@ func (d *Daemon) handlePlan(w http.ResponseWriter, r *http.Request) {
 			resp.Victims = append(resp.Victims, path)
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp, http.StatusOK, nil
 }
 
 func (d *Daemon) handleVictims(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,474 @@
+package lint
+
+// Intraprocedural control-flow graphs over go/ast, the substrate the
+// flow-sensitive analyzers (lockflow, fsyncorder) run their dataflow
+// fixpoints on. No SSA: blocks hold the original AST statements (and
+// condition expressions) in execution order, which is exactly enough
+// for the small lattices the repo's invariants need. See DESIGN.md
+// §14.
+//
+// Modeling decisions:
+//
+//   - if/for/range/switch/select/goto/labeled break+continue build
+//     real edges; both arms of every branch are assumed feasible.
+//   - `return` ends its block with an edge to the synthetic Exit.
+//   - `panic(...)`, os.Exit, log.Fatal* and runtime.Goexit terminate
+//     the path (edge to Exit, no fallthrough).
+//   - DeferStmt is an ordinary node at its registration point; the
+//     analyzer decides what the deferred call means at Exit.
+//   - Function literals are opaque values here: their bodies get
+//     their own CFGs and are never inlined into the enclosing graph.
+//   - Statements syntactically present but unreachable (after a
+//     return) still get blocks, just without predecessors, so every
+//     statement of the body lives in exactly one block (pinned by
+//     TestCFGPartition).
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block: a maximal run of nodes with one entry and
+// one exit. Nodes are ast.Stmt or, for branch conditions and
+// switch/select guards, ast.Expr.
+type Block struct {
+	// Index is the block's position in CFG.Blocks (stable, dense).
+	Index int
+	// Nodes holds the block's statements and condition expressions in
+	// execution order.
+	Nodes []ast.Node
+	// Succs are the possible successors. Terminated blocks (return,
+	// panic) have exactly the Exit block as successor.
+	Succs []*Block
+	// preds counts incoming edges (Exit's count includes terminators).
+	preds int
+}
+
+// CFG is one function body's control-flow graph.
+type CFG struct {
+	// Blocks lists every block; Blocks[0] is the entry. Order is
+	// deterministic (construction order, which follows the source).
+	Blocks []*Block
+	// Exit is the synthetic exit block (always the last block, empty).
+	// Falling off the end of the body, `return`, and terminating calls
+	// all edge here.
+	Exit *Block
+}
+
+// Entry returns the function's entry block.
+func (c *CFG) Entry() *Block { return c.Blocks[0] }
+
+// Reachable reports which blocks are reachable from the entry, by
+// index. The synthetic Exit is reachable iff some path reaches it.
+func (c *CFG) Reachable() []bool {
+	seen := make([]bool, len(c.Blocks))
+	stack := []*Block{c.Entry()}
+	seen[c.Entry().Index] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if !seen[s.Index] {
+				seen[s.Index] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// NewCFG builds the graph for one function body. info may be nil;
+// when present it sharpens terminator detection (os.Exit through an
+// import alias still terminates).
+func NewCFG(body *ast.BlockStmt, terminates func(*ast.CallExpr) bool) *CFG {
+	b := &cfgBuilder{
+		cfg:        &CFG{},
+		terminates: terminates,
+		labels:     make(map[string]*labelBlocks),
+	}
+	entry := b.newBlock()
+	b.cur = entry
+	b.stmtList(body.List)
+	exit := b.newBlock()
+	b.cfg.Exit = exit
+	// Falling off the end of the body is an implicit return.
+	b.jump(exit)
+	// Resolve forward gotos; an unresolved label is a parse-level
+	// error Go itself rejects, but stay total anyway.
+	for _, g := range b.pendingGotos {
+		if lb := b.labels[g.label]; lb != nil && lb.target != nil {
+			b.edge(g.from, lb.target)
+		} else {
+			b.edge(g.from, exit)
+		}
+	}
+	// Terminator edges recorded before Exit existed.
+	for _, from := range b.pendingExits {
+		b.edge(from, exit)
+	}
+	return b.cfg
+}
+
+// labelBlocks tracks the blocks a label can transfer control to.
+type labelBlocks struct {
+	target     *Block // goto / labeled-statement entry
+	breakTo    *Block // labeled break target (after the construct)
+	continueTo *Block // labeled continue target (loop head)
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type cfgBuilder struct {
+	cfg        *CFG
+	cur        *Block // nil while the current point is unreachable
+	terminates func(*ast.CallExpr) bool
+
+	// break/continue stacks: innermost target last.
+	breaks    []*Block
+	continues []*Block
+	// label bookkeeping for labeled loops, gotos, labeled breaks.
+	labels       map[string]*labelBlocks
+	pendingGotos []pendingGoto
+	pendingExits []*Block
+	// nextLabel names the label attached to the statement about to be
+	// compiled, so its loop registers labeled break/continue targets.
+	nextLabel string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.preds++
+}
+
+// jump links the current block to target and leaves the current point
+// unreachable (the caller starts a new block if more code follows).
+func (b *cfgBuilder) jump(target *Block) {
+	if b.cur != nil {
+		b.edge(b.cur, target)
+	}
+	b.cur = nil
+}
+
+// startBlock begins a new block, linking it from the current one.
+func (b *cfgBuilder) startBlock() *Block {
+	blk := b.newBlock()
+	if b.cur != nil {
+		b.edge(b.cur, blk)
+	}
+	b.cur = blk
+	return blk
+}
+
+// add appends a node to the current block, starting a parentless
+// block for syntactically unreachable code.
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// exitEdge ends the current path at the (not yet built) Exit block.
+func (b *cfgBuilder) exitEdge() {
+	if b.cur != nil {
+		b.pendingExits = append(b.pendingExits, b.cur)
+	}
+	b.cur = nil
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		// The label is a join point: backward gotos and the labeled
+		// statement itself both enter here.
+		lb := b.labels[s.Label.Name]
+		if lb == nil {
+			lb = &labelBlocks{}
+			b.labels[s.Label.Name] = lb
+		}
+		target := b.startBlock()
+		lb.target = target
+		b.nextLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.nextLabel = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		condBlk := b.cur
+		after := b.newBlock()
+		// Then arm.
+		b.cur = b.newBlock()
+		b.edge(condBlk, b.cur)
+		b.stmtList(s.Body.List)
+		b.jump(after)
+		// Else arm (or straight to after).
+		if s.Else != nil {
+			b.cur = b.newBlock()
+			b.edge(condBlk, b.cur)
+			b.stmt(s.Else)
+			b.jump(after)
+		} else {
+			b.edge(condBlk, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		label := b.takeLabel()
+		head := b.startBlock()
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		condBlk := b.cur
+		after := b.newBlock()
+		post := b.newBlock()
+		if s.Cond != nil {
+			b.edge(condBlk, after) // condition false
+		}
+		b.registerLoop(label, head, after, post)
+		b.cur = b.newBlock()
+		b.edge(condBlk, b.cur)
+		b.pushLoop(after, post)
+		b.stmtList(s.Body.List)
+		b.popLoop()
+		b.jump(post)
+		if s.Post != nil {
+			post.Nodes = append(post.Nodes, s.Post)
+		}
+		b.edge(post, head)
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.startBlock()
+		// The RangeStmt itself models the per-iteration evaluation
+		// (key/value assignment, channel receive).
+		b.add(s)
+		headBlk := b.cur
+		after := b.newBlock()
+		b.edge(headBlk, after) // range exhausted
+		b.registerLoop(label, head, after, head)
+		b.cur = b.newBlock()
+		b.edge(headBlk, b.cur)
+		b.pushLoop(after, head)
+		b.stmtList(s.Body.List)
+		b.popLoop()
+		b.jump(head)
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, s.Body)
+
+	case *ast.TypeSwitchStmt:
+		// The guard (`v := x.(type)`) evaluates in the dispatch block.
+		b.switchStmt(s.Init, s.Assign, s.Body)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		dispatch := b.startBlock()
+		after := b.newBlock()
+		if label != "" {
+			b.labels[label].breakTo = after
+		}
+		b.breaks = append(b.breaks, after)
+		for _, cc := range s.Body.List {
+			c := cc.(*ast.CommClause)
+			b.cur = b.newBlock()
+			b.edge(dispatch, b.cur)
+			if c.Comm != nil {
+				b.add(c.Comm)
+			}
+			b.stmtList(c.Body)
+			b.jump(after)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		// A select with no clauses blocks forever; give it the edge
+		// anyway so the graph stays connected and analyses terminate.
+		if len(s.Body.List) == 0 {
+			b.edge(dispatch, after)
+		}
+		b.cur = after
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.exitEdge()
+
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok {
+		case token.BREAK:
+			if s.Label != nil {
+				if lb := b.labels[s.Label.Name]; lb != nil && lb.breakTo != nil {
+					b.jump(lb.breakTo)
+					return
+				}
+			} else if len(b.breaks) > 0 {
+				b.jump(b.breaks[len(b.breaks)-1])
+				return
+			}
+			b.exitEdge() // malformed; stay total
+		case token.CONTINUE:
+			if s.Label != nil {
+				if lb := b.labels[s.Label.Name]; lb != nil && lb.continueTo != nil {
+					b.jump(lb.continueTo)
+					return
+				}
+			} else if len(b.continues) > 0 {
+				b.jump(b.continues[len(b.continues)-1])
+				return
+			}
+			b.exitEdge()
+		case token.GOTO:
+			if b.cur != nil {
+				b.pendingGotos = append(b.pendingGotos, pendingGoto{from: b.cur, label: s.Label.Name})
+			}
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// Handled by switchStmt's clause sequencing; as a plain
+			// statement (malformed) it just continues.
+		}
+
+	case *ast.DeferStmt, *ast.GoStmt, *ast.AssignStmt, *ast.DeclStmt,
+		*ast.IncDecStmt, *ast.SendStmt, *ast.EmptyStmt:
+		b.add(s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && b.terminates != nil && b.terminates(call) {
+			b.exitEdge()
+		}
+
+	default:
+		if s != nil {
+			b.add(s)
+		}
+	}
+}
+
+// switchStmt compiles expression and type switches: dispatch block
+// evaluates init+tag (or the type-switch guard), every clause is a
+// dispatch successor, fallthrough chains clause bodies, break (and
+// exhausting a body) exits to after.
+func (b *cfgBuilder) switchStmt(init ast.Stmt, tag ast.Node, body *ast.BlockStmt) {
+	if init != nil {
+		b.add(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	label := b.takeLabel()
+	dispatch := b.cur
+	if dispatch == nil {
+		dispatch = b.startBlock()
+	}
+	after := b.newBlock()
+	if label != "" {
+		b.labels[label].breakTo = after
+	}
+	b.breaks = append(b.breaks, after)
+
+	clauses := make([]*ast.CaseClause, 0, len(body.List))
+	for _, cc := range body.List {
+		clauses = append(clauses, cc.(*ast.CaseClause))
+	}
+	// Build each clause body; remember entry blocks for fallthrough.
+	entries := make([]*Block, len(clauses))
+	exits := make([]*Block, len(clauses)) // nil when body ends unreachable
+	hasDefault := false
+	for i, c := range clauses {
+		if c.List == nil {
+			hasDefault = true
+		}
+		b.cur = b.newBlock()
+		entries[i] = b.cur
+		b.edge(dispatch, entries[i])
+		for _, e := range c.List {
+			b.add(e)
+		}
+		// A trailing fallthrough transfers to the next clause body
+		// instead of after; the branch node stays in the graph.
+		list := c.Body
+		var fallNode ast.Stmt
+		if n := len(list); n > 0 {
+			if br, ok := list[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallNode = br
+				list = list[:n-1]
+			}
+		}
+		b.stmtList(list)
+		if fallNode != nil {
+			b.add(fallNode)
+			exits[i] = b.cur
+		} else {
+			b.jump(after)
+			exits[i] = nil
+		}
+	}
+	for i, e := range exits {
+		if e != nil && i+1 < len(entries) {
+			b.edge(e, entries[i+1])
+		} else if e != nil {
+			b.edge(e, after)
+		}
+	}
+	if !hasDefault {
+		// No default: the tag can match nothing.
+		b.edge(dispatch, after)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = after
+}
+
+// takeLabel consumes the pending label for the construct being built.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.nextLabel
+	b.nextLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) registerLoop(label string, head, after, cont *Block) {
+	if label == "" {
+		return
+	}
+	lb := b.labels[label]
+	if lb == nil {
+		lb = &labelBlocks{}
+		b.labels[label] = lb
+	}
+	lb.breakTo = after
+	lb.continueTo = cont
+	_ = head
+}
+
+func (b *cfgBuilder) pushLoop(brk, cont *Block) {
+	b.breaks = append(b.breaks, brk)
+	b.continues = append(b.continues, cont)
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}

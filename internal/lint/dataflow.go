@@ -1,0 +1,138 @@
+package lint
+
+// A small forward-dataflow engine over the CFGs in cfg.go. Analyzers
+// parameterize it with their own lattice: a fact type F, a transfer
+// function over individual AST nodes, a join for control-flow merges,
+// and an equality test that bounds the fixpoint. Lattices here are
+// tiny (a held-lock set, a dirty bit), so the plain worklist with
+// per-node transfer is both simple and fast enough to run over the
+// whole module on every CI push.
+
+import "go/ast"
+
+// Flow defines one forward analysis.
+type Flow[F any] struct {
+	// Entry is the fact at the function's entry block.
+	Entry F
+	// Unreached is the fact given to blocks no edge has reached yet
+	// (the lattice bottom); it must be the Join identity.
+	Unreached F
+	// Transfer folds one block node (statement or condition
+	// expression) into the incoming fact. It must not mutate in.
+	Transfer func(n ast.Node, in F) F
+	// Join merges facts at control-flow merges (may-analysis: union;
+	// must-analysis: intersection).
+	Join func(a, b F) F
+	// Equal bounds the fixpoint: iteration stops when every block's
+	// input fact is stable under Equal.
+	Equal func(a, b F) bool
+}
+
+// Forward runs the fixpoint and returns the fact at entry to each
+// block, indexed like cfg.Blocks. Unreachable blocks keep Unreached.
+func Forward[F any](cfg *CFG, f Flow[F]) []F {
+	in := make([]F, len(cfg.Blocks))
+	seen := make([]bool, len(cfg.Blocks))
+	for i := range in {
+		in[i] = f.Unreached
+	}
+	entry := cfg.Entry()
+	in[entry.Index] = f.Entry
+	seen[entry.Index] = true
+
+	work := []*Block{entry}
+	queued := make([]bool, len(cfg.Blocks))
+	queued[entry.Index] = true
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b.Index] = false
+
+		out := in[b.Index]
+		for _, n := range b.Nodes {
+			out = f.Transfer(n, out)
+		}
+		for _, s := range b.Succs {
+			next := out
+			if seen[s.Index] {
+				next = f.Join(in[s.Index], out)
+				if f.Equal(next, in[s.Index]) {
+					continue
+				}
+			}
+			in[s.Index] = next
+			seen[s.Index] = true
+			if !queued[s.Index] {
+				queued[s.Index] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}
+
+// FactsAt re-applies the transfer function inside each reachable
+// block and hands the analyzer the fact in force just BEFORE every
+// node, in execution order — the shape reporting wants ("was the lock
+// held when this call ran?").
+func FactsAt[F any](cfg *CFG, f Flow[F], in []F, visit func(n ast.Node, fact F)) {
+	reach := cfg.Reachable()
+	for _, b := range cfg.Blocks {
+		if !reach[b.Index] {
+			continue
+		}
+		fact := in[b.Index]
+		for _, n := range b.Nodes {
+			visit(n, fact)
+			fact = f.Transfer(n, fact)
+		}
+	}
+}
+
+// funcBodies yields every function body in the package — declarations
+// and function literals alike — with the enclosing *ast.FuncDecl when
+// there is one (nil for literals). Analyzers build one CFG per body.
+func funcBodies(files []*ast.File, fn func(decl *ast.FuncDecl, lit *ast.FuncLit, body *ast.BlockStmt)) {
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					fn(n, nil, n.Body)
+				}
+			case *ast.FuncLit:
+				fn(nil, n, n.Body)
+			}
+			return true
+		})
+	}
+}
+
+// terminatorFor returns the CFG terminator predicate for a package:
+// builtin panic, os.Exit, runtime.Goexit, and log.Fatal* end a path.
+func terminatorFor(pass *Pass) func(*ast.CallExpr) bool {
+	return func(call *ast.CallExpr) bool {
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			return fun.Name == "panic"
+		case *ast.SelectorExpr:
+			if !isPackageFunc(pass, fun) {
+				return false
+			}
+			pkg, _ := fun.X.(*ast.Ident)
+			if pkg == nil {
+				return false
+			}
+			switch {
+			case pkg.Name == "os" && fun.Sel.Name == "Exit":
+				return true
+			case pkg.Name == "runtime" && fun.Sel.Name == "Goexit":
+				return true
+			case pkg.Name == "log" && (fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf" || fun.Sel.Name == "Fatalln" ||
+				fun.Sel.Name == "Panic" || fun.Sel.Name == "Panicf" || fun.Sel.Name == "Panicln"):
+				return true
+			}
+		}
+		return false
+	}
+}

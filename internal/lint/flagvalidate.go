@@ -1,0 +1,242 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// FlagValidateAnalyzer enforces the PR-5 fail-fast contract in cmd/
+// packages: every registered flag whose value can be garbage must be
+// reachable from the package's validation path. A flag nobody
+// validates is a flag that silently accepts nonsense — the simulator
+// once ran whole sweeps with a mistyped -interval because parsing
+// succeeded and nothing range-checked it.
+//
+// Mechanics: a registration (flag.String, flag.IntVar, ...) binds a
+// target variable — the returned pointer's variable or the *Var
+// pointee, including an options-struct field. The validation closure
+// is every function whose name contains "validate", expanded through
+// package-local calls. The target must be referenced somewhere in
+// that closure.
+//
+// Exempt kinds, where parse success already implies a usable value:
+//
+//   - Bool/BoolVar — both parsed values are valid.
+//   - Uint64/Uint64Var — full-range seeds; no garbage subrange.
+//   - Var/TextVar/Func — the custom Set/UnmarshalText rejects garbage
+//     at parse time.
+var FlagValidateAnalyzer = &Analyzer{
+	Name: "flagvalidate",
+	Doc:  "cmd flags must be reachable from the package's validation path",
+	Run:  runFlagValidate,
+}
+
+// flagRegFuncs maps flag.* registration functions to the argument
+// index of the bound pointer (-1 = the call's result is the pointer).
+var flagRegFuncs = map[string]int{
+	"String": -1, "Int": -1, "Int64": -1, "Uint": -1,
+	"Float64": -1, "Duration": -1,
+	"StringVar": 0, "IntVar": 0, "Int64Var": 0, "UintVar": 0,
+	"Float64Var": 0, "DurationVar": 0,
+}
+
+func runFlagValidate(pass *Pass) {
+	if !hasPathSegment(pass.Path, "cmd") {
+		return
+	}
+	closure := validationClosure(pass)
+	validated := make(map[*types.Var]bool)
+	for _, fd := range closure {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if v, ok := pass.Info.Uses[id].(*types.Var); ok {
+				validated[v] = true
+			}
+			return true
+		})
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !isPackageFunc(pass, sel) {
+				return true
+			}
+			pkg, _ := sel.X.(*ast.Ident)
+			if obj, ok := pass.Info.Uses[pkg].(*types.PkgName); !ok || obj.Imported().Path() != "flag" {
+				return true
+			}
+			argIdx, ok := flagRegFuncs[sel.Sel.Name]
+			if !ok {
+				return true
+			}
+			target, flagName := registrationTarget(pass, call, argIdx)
+			if flagName == "" {
+				flagName = "?"
+			}
+			if target == nil {
+				// Result dropped or bound to something we cannot
+				// name: unreachable by definition.
+				pass.Reportf(call.Pos(), "flag -%s (%s) is bound to no nameable variable, so no validation path can reach it", flagName, sel.Sel.Name)
+				return true
+			}
+			if len(closure) == 0 {
+				pass.Reportf(call.Pos(), "flag -%s registered but package has no validation function (PR-5 fail-fast contract)", flagName)
+				return true
+			}
+			if !validated[target] {
+				pass.Reportf(call.Pos(), "flag -%s (%s) is never referenced from the validation path", flagName, target.Name())
+			}
+			return true
+		})
+	}
+}
+
+// validationClosure returns the package's validation functions — any
+// function whose name contains "validate" (case-insensitive) —
+// expanded transitively through package-local calls.
+func validationClosure(pass *Pass) []*ast.FuncDecl {
+	decls := packageFuncDecls(pass)
+	byObj := make(map[*types.Func]bool)
+	var queue, out []*types.Func
+	// Seed in file order, not map order, so the closure (and any
+	// diagnostics downstream) is deterministic.
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok || !strings.Contains(strings.ToLower(obj.Name()), "validate") {
+				continue
+			}
+			byObj[obj] = true
+			queue = append(queue, obj)
+		}
+	}
+	for len(queue) > 0 {
+		obj := queue[0]
+		queue = queue[1:]
+		out = append(out, obj)
+		ast.Inspect(decls[obj].Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var callee *types.Func
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				callee, _ = pass.Info.Uses[fun].(*types.Func)
+			case *ast.SelectorExpr:
+				callee, _ = pass.Info.Uses[fun.Sel].(*types.Func)
+			}
+			if callee != nil && decls[callee] != nil && !byObj[callee] {
+				byObj[callee] = true
+				queue = append(queue, callee)
+			}
+			return true
+		})
+	}
+	fds := make([]*ast.FuncDecl, len(out))
+	for i, obj := range out {
+		fds[i] = decls[obj]
+	}
+	return fds
+}
+
+// registrationTarget resolves the variable a flag registration binds
+// and the flag's name string. argIdx -1 means the call result is the
+// pointer (v := flag.String(...)); otherwise args[argIdx] is &target.
+func registrationTarget(pass *Pass, call *ast.CallExpr, argIdx int) (*types.Var, string) {
+	nameIdx := 0
+	if argIdx >= 0 {
+		nameIdx = 1
+	}
+	flagName := ""
+	if len(call.Args) > nameIdx {
+		if lit, ok := call.Args[nameIdx].(*ast.BasicLit); ok {
+			flagName = strings.Trim(lit.Value, `"`)
+		}
+	}
+	if argIdx >= 0 {
+		if len(call.Args) <= argIdx {
+			return nil, flagName
+		}
+		return exprVar(pass, call.Args[argIdx]), flagName
+	}
+	// Result form: find the enclosing assignment/value spec.
+	if v := resultBinding(pass, call); v != nil {
+		return v, flagName
+	}
+	return nil, flagName
+}
+
+// resultBinding finds the variable that captures call's result by
+// scanning the file for `x := call` / `var x = call` shapes.
+func resultBinding(pass *Pass, call *ast.CallExpr) *types.Var {
+	for _, f := range pass.Files {
+		if call.Pos() < f.Pos() || call.End() > f.End() {
+			continue
+		}
+		var found *types.Var
+		ast.Inspect(f, func(n ast.Node) bool {
+			if found != nil {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if rhs == call && i < len(n.Lhs) {
+						found = lhsVar(pass, n.Lhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				for i, rhs := range n.Values {
+					if rhs == call && i < len(n.Names) {
+						found, _ = pass.Info.Defs[n.Names[i]].(*types.Var)
+					}
+				}
+			}
+			return true
+		})
+		if found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+// hasPathSegment reports whether one of path's slash-separated
+// segments equals seg (so "cmd" matches x/cmd/y but not x/cmdutil).
+func hasPathSegment(path, seg string) bool {
+	for _, s := range strings.Split(path, "/") {
+		if s == seg {
+			return true
+		}
+	}
+	return false
+}
+
+// lhsVar resolves an assignment LHS to its variable object.
+func lhsVar(pass *Pass, e ast.Expr) *types.Var {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if v, ok := pass.Info.Defs[e].(*types.Var); ok {
+			return v
+		}
+		v, _ := pass.Info.Uses[e].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		return exprVar(pass, e)
+	}
+	return nil
+}

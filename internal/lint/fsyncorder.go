@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// FsyncOrderAnalyzer enforces the PR-6 durability contract inside
+// internal/wal and internal/daemon: a function that both writes and
+// syncs must not reach a success return on a path where writes are
+// still unsynced. The chaos harness catches ordering bugs
+// probabilistically; this catches them at push time.
+//
+// Scope is deliberately narrow. Only functions that contain BOTH a
+// write effect (os.File/wal writes, wal.Log.Append) and a sync effect
+// (Sync methods, fsx.SyncFile/SyncDir, package-local sync* helpers)
+// are analyzed: such a function has opted into ordering durability
+// itself, so returning success with the dirty bit set is a bug.
+// Functions that only write leave durability to their caller — that
+// contract (e.g. wal.Append is not durable until Sync) is the
+// documented API shape, not a finding.
+var FsyncOrderAnalyzer = &Analyzer{
+	Name: "fsyncorder",
+	Doc:  "in wal/daemon, success returns must not be reachable with unsynced writes",
+	Run:  runFsyncOrder,
+}
+
+// fsyncOrderPackages are the package-path suffixes under the
+// durability contract.
+var fsyncOrderPackages = []string{"internal/wal", "internal/daemon"}
+
+func runFsyncOrder(pass *Pass) {
+	scoped := false
+	for _, p := range fsyncOrderPackages {
+		if pathHasSuffix(pass.Path, p) {
+			scoped = true
+			break
+		}
+	}
+	if !scoped {
+		return
+	}
+	funcBodies(pass.Files, func(decl *ast.FuncDecl, lit *ast.FuncLit, body *ast.BlockStmt) {
+		checkFsyncOrder(pass, decl, body)
+	})
+}
+
+func checkFsyncOrder(pass *Pass, decl *ast.FuncDecl, body *ast.BlockStmt) {
+	if !hasWriteAndSync(pass, body) {
+		return
+	}
+	cfg := NewCFG(body, terminatorFor(pass))
+
+	flow := Flow[dirtyFact]{
+		Entry:     dirtyClean,
+		Unreached: dirtyUnreached,
+		Transfer: func(n ast.Node, in dirtyFact) dirtyFact {
+			if in == dirtyUnreached {
+				return in
+			}
+			out := in
+			forEachCall(n, func(call *ast.CallExpr) {
+				switch {
+				case isSyncEffect(pass, call):
+					out = dirtyClean
+				case isWriteEffect(pass, call):
+					out = dirtyDirty
+				}
+			})
+			return out
+		},
+		Join: func(a, b dirtyFact) dirtyFact {
+			// May-analysis: dirty on either path is dirty.
+			if a == dirtyUnreached {
+				return b
+			}
+			if b == dirtyUnreached {
+				return a
+			}
+			if a == dirtyDirty || b == dirtyDirty {
+				return dirtyDirty
+			}
+			return dirtyClean
+		},
+		Equal: func(a, b dirtyFact) bool { return a == b },
+	}
+	in := Forward(cfg, flow)
+
+	resultsError := funcReturnsError(pass, decl)
+	FactsAt(cfg, flow, in, func(n ast.Node, fact dirtyFact) {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return
+		}
+		// The return expression itself may sync ("return l.f.Sync()"):
+		// apply its effects before judging.
+		fact = flow.Transfer(n, fact)
+		if fact != dirtyDirty {
+			return
+		}
+		if !isSuccessReturn(ret, resultsError) {
+			return
+		}
+		pass.Reportf(ret.Pos(), "success return reachable with unsynced writes: sync before acknowledging (durability contract)")
+	})
+}
+
+type dirtyFact int8
+
+const (
+	dirtyUnreached dirtyFact = iota
+	dirtyClean
+	dirtyDirty
+)
+
+// hasWriteAndSync gates the analysis on bodies that contain both
+// effect kinds outside nested function literals.
+func hasWriteAndSync(pass *Pass, body *ast.BlockStmt) bool {
+	write, sync := false, false
+	forEachCall(body, func(call *ast.CallExpr) {
+		if isWriteEffect(pass, call) {
+			write = true
+		}
+		if isSyncEffect(pass, call) {
+			sync = true
+		}
+	})
+	return write && sync
+}
+
+// isWriteEffect reports whether call puts bytes somewhere durable
+// storage has not seen yet: *os.File writes, or wal.Log Append/Write.
+func isWriteEffect(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || isPackageFunc(pass, sel) {
+		return false
+	}
+	name := sel.Sel.Name
+	tv, ok := pass.Info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	switch {
+	case typeString(t) == "os.File":
+		switch name {
+		case "Write", "WriteAt", "WriteString", "Truncate":
+			return true
+		}
+	case isWALLog(t):
+		switch name {
+		case "Append", "Write":
+			return true
+		}
+	case typeString(t) == "bufio.Writer":
+		switch name {
+		case "Write", "WriteString", "WriteByte", "WriteRune", "Flush":
+			// Flush moves bytes to the kernel, not to the platter: it
+			// is still a write effect, never a sync effect.
+			return true
+		}
+	}
+	return false
+}
+
+// isSyncEffect reports whether call makes prior writes durable: any
+// callee whose name starts with "sync" (Sync, SyncFile, SyncDir,
+// syncLocked) — fsync wrappers and package-local sync helpers alike.
+func isSyncEffect(pass *Pass, call *ast.CallExpr) bool {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return false
+	}
+	return strings.HasPrefix(strings.ToLower(name), "sync")
+}
+
+// isWALLog reports whether t is internal/wal.Log.
+func isWALLog(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Log" && obj.Pkg() != nil && pathHasSuffix(obj.Pkg().Path(), "internal/wal")
+}
+
+// funcReturnsError reports whether the function's last result is an
+// error. Function literals (decl == nil) are treated as error-less:
+// every return is a potential success path.
+func funcReturnsError(pass *Pass, decl *ast.FuncDecl) bool {
+	if decl == nil || decl.Type.Results == nil || len(decl.Type.Results.List) == 0 {
+		return false
+	}
+	last := decl.Type.Results.List[len(decl.Type.Results.List)-1]
+	tv, ok := pass.Info.Types[last.Type]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return typeString(tv.Type) == "error"
+}
+
+// isSuccessReturn reports whether ret signals success: the final
+// result is a nil literal when the function returns an error, or any
+// return when it does not. Named-result bare returns are conservative
+// non-findings (the error's value is unknown).
+func isSuccessReturn(ret *ast.ReturnStmt, resultsError bool) bool {
+	if !resultsError {
+		return true
+	}
+	if len(ret.Results) == 0 {
+		return false
+	}
+	last := ret.Results[len(ret.Results)-1]
+	id, ok := last.(*ast.Ident)
+	return ok && id.Name == "nil"
+}

@@ -86,6 +86,11 @@ func Analyzers() []*Analyzer {
 		CopyLocksAnalyzer,
 		UncheckedCloseAnalyzer,
 		RandSplitAnalyzer,
+		LockFlowAnalyzer,
+		FsyncOrderAnalyzer,
+		GoroutineLeakAnalyzer,
+		FlagValidateAnalyzer,
+		CheckpointFieldsAnalyzer,
 	}
 }
 
@@ -156,12 +161,12 @@ func collectAllows(pkg *Package) (map[allowKey]bool, []Diagnostic) {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, allowPrefix) {
+				rule, reason, ok := parseAllow(c.Text)
+				if !ok {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				fields := strings.Fields(strings.TrimPrefix(c.Text, allowPrefix))
-				if len(fields) < 2 {
+				if rule == "" || reason == "" {
 					malformed = append(malformed, Diagnostic{
 						Rule: "lint-allow",
 						File: pos.Filename,
@@ -171,7 +176,6 @@ func collectAllows(pkg *Package) (map[allowKey]bool, []Diagnostic) {
 					})
 					continue
 				}
-				rule := fields[0]
 				if !knownRule(rule) {
 					malformed = append(malformed, Diagnostic{
 						Rule: "lint-allow",

@@ -111,6 +111,26 @@ func TestRandSplitGolden(t *testing.T) {
 	checkGolden(t, "randsplit/r", RandSplitAnalyzer)
 }
 
+func TestLockFlowGolden(t *testing.T) {
+	checkGolden(t, "lockflow/l", LockFlowAnalyzer)
+}
+
+func TestFsyncOrderGolden(t *testing.T) {
+	checkGolden(t, "fsyncorder/internal/wal", FsyncOrderAnalyzer)
+}
+
+func TestGoroutineLeakGolden(t *testing.T) {
+	checkGolden(t, "goroutineleak/g", GoroutineLeakAnalyzer)
+}
+
+func TestFlagValidateGolden(t *testing.T) {
+	checkGolden(t, "flagvalidate/cmd/app", FlagValidateAnalyzer)
+}
+
+func TestCheckpointFieldsGolden(t *testing.T) {
+	checkGolden(t, "checkpointfields/internal/sim", CheckpointFieldsAnalyzer)
+}
+
 // TestSuppression pins the exact surviving diagnostics of the
 // suppress fixture: well-formed directives silence their line,
 // malformed or unknown-rule directives surface themselves and leave

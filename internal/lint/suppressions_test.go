@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// TestParseAllow pins the directive grammar, including the shapes the
+// fuzzer once had to find by luck.
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text, rule, reason string
+		ok                 bool
+	}{
+		{"//lint:allow nondeterminism timing probe", "nondeterminism", "timing probe", true},
+		{"//lint:allow maporder", "maporder", "", true},
+		{"//lint:allow", "", "", true},
+		{"//lint:allow   ", "", "", true},
+		{"//lint:allow\trule\treason words here", "rule", "reason words here", true},
+		{"//lint:allowlist is unrelated", "", "", false},
+		{"// lint:allow spaced marker is no directive", "", "", false},
+		{"//nolint:allow other tool", "", "", false},
+		{"plain text", "", "", false},
+		{"", "", "", false},
+	}
+	for _, c := range cases {
+		rule, reason, ok := parseAllow(c.text)
+		if rule != c.rule || reason != c.reason || ok != c.ok {
+			t.Errorf("parseAllow(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.text, rule, reason, ok, c.rule, c.reason, c.ok)
+		}
+	}
+}
+
+// FuzzParseAllow asserts the parser's invariants over arbitrary
+// comment text: no panic, directives are only recognized with the
+// exact marker, and the parsed pieces are whitespace-normalized
+// substrings of the input.
+func FuzzParseAllow(f *testing.F) {
+	f.Add("//lint:allow nondeterminism timing probe")
+	f.Add("//lint:allow maporder")
+	f.Add("//lint:allow")
+	f.Add("//lint:allowlist")
+	f.Add("//lint:allow \t rule  multi  word\treason")
+	f.Add("// ordinary comment")
+	f.Add("//lint:allow rule \x00\xff")
+	f.Fuzz(func(t *testing.T, text string) {
+		rule, reason, ok := parseAllow(text)
+		if !ok {
+			if rule != "" || reason != "" {
+				t.Fatalf("parseAllow(%q): non-directive returned rule=%q reason=%q", text, rule, reason)
+			}
+			return
+		}
+		if !strings.HasPrefix(text, allowPrefix) {
+			t.Fatalf("parseAllow(%q): ok without the %q marker", text, allowPrefix)
+		}
+		rest := strings.TrimPrefix(text, allowPrefix)
+		if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+			t.Fatalf("parseAllow(%q): marker not followed by whitespace, still ok", text)
+		}
+		for _, r := range rule {
+			if unicode.IsSpace(r) {
+				t.Fatalf("parseAllow(%q): rule %q contains whitespace", text, rule)
+			}
+		}
+		if rule == "" && reason != "" {
+			t.Fatalf("parseAllow(%q): reason %q without a rule", text, reason)
+		}
+		if rule != "" && !strings.Contains(text, rule) {
+			t.Fatalf("parseAllow(%q): rule %q is not a substring of the input", text, rule)
+		}
+		// The reason round-trips as whitespace-normalized fields.
+		if reason != "" {
+			wantFields := strings.Fields(rest)[1:]
+			if got := strings.Fields(reason); strings.Join(got, " ") != strings.Join(wantFields, " ") {
+				t.Fatalf("parseAllow(%q): reason %q does not match fields %v", text, reason, wantFields)
+			}
+		}
+	})
+}

@@ -1,0 +1,44 @@
+// Package sim is the checkpointfields fixture: a checkpointState
+// whose save and load halves disagree about three fields, plus an
+// anonymous same-named decoy the object-identity matching must not
+// credit.
+package sim
+
+import "encoding/json"
+
+type checkpointState struct { // want "field checkpointState.At is written by saveCheckpoint but never read by loadCheckpoint" "field checkpointState.Legacy is read by loadCheckpoint but never written by saveCheckpoint" "field checkpointState.Orphan appears in neither saveCheckpoint nor loadCheckpoint"
+	Version int    `json:"version"`
+	Cursor  int    `json:"cursor"`
+	At      int64  `json:"at"`
+	Legacy  string `json:"legacy"`
+	Orphan  bool   `json:"orphan"`
+	digest  string // unexported: not part of the audited surface
+}
+
+func saveCheckpoint(cursor int, at int64) ([]byte, error) {
+	cs := checkpointState{
+		Version: 3,
+		Cursor:  cursor,
+		At:      at,
+	}
+	cs.digest = "d"
+	return json.Marshal(&cs)
+}
+
+func loadCheckpoint(blob []byte) (int, string, error) {
+	var cs checkpointState
+	if err := json.Unmarshal(blob, &cs); err != nil {
+		return 0, "", err
+	}
+	if cs.Version != 3 {
+		return 0, "", json.Unmarshal(nil, nil)
+	}
+	// Same-named field of a local struct: must not count as reading
+	// checkpointState.At.
+	var peek struct {
+		At int64 `json:"at"`
+	}
+	_ = json.Unmarshal(blob, &peek)
+	_ = peek.At
+	return cs.Cursor, cs.Legacy, nil
+}

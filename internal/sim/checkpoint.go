@@ -440,6 +440,14 @@ func (e *Emulator) loadCheckpoint(policy retention.Policy, opts RunOptions) (*ru
 	if cs.Config != wantDigest {
 		return nil, fmt.Errorf("sim: checkpoint %s config mismatch:\n  have %s\n  want %s", name, wantDigest, cs.Config)
 	}
+	// At records the trigger this checkpoint was taken on; the next
+	// trigger the resumed run waits for can never be earlier. A
+	// violation means the state file was hand-edited or mixed from
+	// two different runs, and resuming would replay events the
+	// checkpoint already accounted for.
+	if cs.At > cs.NextTrigger {
+		return nil, fmt.Errorf("sim: checkpoint %s is internally inconsistent: taken at t=%d but next trigger t=%d is earlier", name, cs.At, cs.NextTrigger)
+	}
 	if cs.Faults != nil && opts.Faults == nil {
 		return nil, fmt.Errorf("sim: checkpoint %s carries fault-injector state but no injector was provided", name)
 	}

@@ -242,7 +242,7 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 		l.first = seq
 	}
 	l.dirty = true
-	return seq, nil
+	return seq, nil //lint:allow fsyncorder Append is documented as not-durable-until-Sync; the daemon batches acks behind Options.SyncEvery
 }
 
 // Sync makes every appended record durable.

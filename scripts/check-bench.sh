@@ -28,6 +28,10 @@
 # (default 5), BENCHTIME (default 3x), BENCH_PATTERN (default Sweep4).
 set -euo pipefail
 
+# Pin the locale: the awk math below parses go-test ns/op numbers and
+# must not be at the mercy of a comma-decimal locale.
+export LC_ALL=C
+
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BASELINE="${BASELINE:-$ROOT/benchmarks/baseline.txt}"
 THRESHOLD_PCT="${THRESHOLD_PCT:-50}"
@@ -51,7 +55,11 @@ fi
 current="$(mktemp)"
 trap 'rm -f "$current"' EXIT
 if [ $# -ge 1 ]; then
-    cp "$1" "$current"
+    if [ ! -f "$1" ]; then
+        echo "check-bench: no such benchmark output file: $1" >&2
+        exit 2
+    fi
+    cp -- "$1" "$current"
 else
     run_bench | tee "$current"
 fi

@@ -1,0 +1,31 @@
+// Command rulecatalogue turns `vetadr -list -json` output (on stdin)
+// into the markdown table embedded in README.md. It exists so
+// scripts/update-rule-catalogue.sh needs no jq in the environment.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rulecatalogue: ")
+	var rules []struct {
+		Name string `json:"name"`
+		Doc  string `json:"doc"`
+	}
+	if err := json.NewDecoder(os.Stdin).Decode(&rules); err != nil {
+		log.Fatal(err)
+	}
+	if len(rules) == 0 {
+		log.Fatal("no rules on stdin; was vetadr -list -json piped in?")
+	}
+	fmt.Println("| rule | invariant |")
+	fmt.Println("|------|-----------|")
+	for _, r := range rules {
+		fmt.Printf("| `%s` | %s |\n", r.Name, r.Doc)
+	}
+}

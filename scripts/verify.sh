@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# verify.sh — the repository's one verification entry point. CI's core
+# gate runs exactly this; run it locally before pushing and the two
+# cannot disagree about what "clean" means.
+#
+# Steps, in order (fail-fast):
+#   1. go vet
+#   2. go build
+#   3. vetadr, all rules, whole tree        (exit 1 on any finding)
+#   4. vetadr -suppressions                 (stale rule / empty reason)
+#   5. README rule catalogue in sync        (scripts/update-rule-catalogue.sh -check)
+#   6. go test -race                        (-quick: go test -short, no race)
+#
+# Usage:
+#   scripts/verify.sh          # the full gate, what CI runs
+#   scripts/verify.sh -quick   # -short tests, no race detector
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+quick=0
+case "${1:-}" in
+    "") ;;
+    -quick) quick=1 ;;
+    *) echo "usage: scripts/verify.sh [-quick]" >&2; exit 2 ;;
+esac
+
+step() { printf '\n--- %s\n' "$*"; }
+
+step "go vet"
+go vet ./...
+
+step "go build"
+go build ./...
+
+step "static analysis (vetadr, all rules)"
+go run ./cmd/vetadr ./...
+
+step "suppression audit (vetadr -suppressions)"
+go run ./cmd/vetadr -suppressions ./...
+
+step "rule catalogue in sync with the analyzer registry"
+"$ROOT/scripts/update-rule-catalogue.sh" -check
+
+if [ "$quick" = 1 ]; then
+    step "go test -short"
+    go test -short ./...
+else
+    step "go test -race"
+    go test -race ./...
+fi
+
+printf '\nverify: OK\n'
