@@ -10,6 +10,7 @@
 package activedr_test
 
 import (
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
@@ -34,6 +35,8 @@ const benchUsers = 400
 var (
 	benchOnce sync.Once
 	benchDS   *trace.Dataset
+	snapOnce  sync.Once
+	snapPath  string
 )
 
 func benchDataset(b *testing.B) *trace.Dataset {
@@ -459,6 +462,103 @@ func BenchmarkSweep4Multiplexed(b *testing.B) {
 	}
 	b.ReportMetric(float64(misses), "misses")
 	b.ReportMetric(4, "policies/pass")
+}
+
+// --- sharded namespace and snapfile benchmarks (DESIGN.md §15) ---
+
+// BenchmarkShardScaling replays the year over the user-hash-sharded
+// namespace at shard counts {1, 4, 16}; the shards=1 case goes
+// through the plain single tree (Config.Shards <= 1). Results are
+// bit-identical across the row — the equivalence suite pins that —
+// so the row isolates the layout's cost/benefit. On a single-core
+// host the interesting quantity is the overhead trend, not speedup;
+// cmd/bench records the trajectory either way.
+func BenchmarkShardScaling(b *testing.B) {
+	ds := benchDataset(b)
+	for _, shards := range []int{1, 4, 16} {
+		// key=value naming: check-bench.sh strips a trailing -N as the
+		// go-test cpu suffix, so a "shards-16" spelling would collapse
+		// the whole row into one bucket.
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			em, err := sim.New(ds, sim.Config{TargetUtilization: 0.5, Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var misses int64
+			for i := 0; i < b.N; i++ {
+				res, err := em.Run(em.NewFLT())
+				if err != nil {
+					b.Fatal(err)
+				}
+				misses = res.TotalMisses
+			}
+			b.ReportMetric(float64(misses), "misses")
+		})
+	}
+}
+
+// benchSnapfile writes the bench dataset's snapshot as a snapfile
+// once per process and returns its path.
+func benchSnapfile(b *testing.B) string {
+	b.Helper()
+	snapOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "benchsnap")
+		if err != nil {
+			b.Fatal(err)
+		}
+		snapPath = filepath.Join(dir, "fs.snap")
+		if err := vfs.WriteSnapfileFromSnapshot(snapPath, &benchDataset(b).Snapshot); err != nil {
+			b.Fatal(err)
+		}
+	})
+	return snapPath
+}
+
+// BenchmarkSnapshotOpen measures the snapfile's O(1) open: header
+// parse and section validation only, no record decoding. This is the
+// startup latency that replaces the TSV snapshot re-parse.
+func BenchmarkSnapshotOpen(b *testing.B) {
+	path := benchSnapfile(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sf, err := vfs.OpenSnapfile(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sf.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotLoadFS decodes the whole snapfile into a live
+// namespace — the eager path a replay takes once per process. Compare
+// with BenchmarkVFSInsert, the same tree built from parsed TSV
+// entries (which excludes the TSV parse itself, so the snapfile's
+// real-world win is larger than the pair suggests).
+func BenchmarkSnapshotLoadFS(b *testing.B) {
+	path := benchSnapfile(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sf, err := vfs.OpenSnapfile(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fsys, err := vfs.LoadSnapfileFS(sf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cerr := sf.Close(); cerr != nil {
+			b.Fatal(cerr)
+		}
+		if fsys.Count() == 0 {
+			b.Fatal("empty namespace")
+		}
+	}
 }
 
 // --- ablations of DESIGN.md §3 choices ---

@@ -14,6 +14,13 @@
 // pass costs roughly one replay instead of two. Not combinable with
 // -resume or -fault-kill, which need per-policy replay lifecycles.
 //
+// -shards N replays against a user-hash-sharded namespace (N
+// goroutine-owned subtrees, k-way-merged scans); results stay
+// bit-identical to the single tree. -vfs-snapshot-out writes the
+// initial file system as a compact binary snapfile; -vfs-snapshot
+// reopens one in place of the snapshot TSV, making startup an O(1)
+// open plus lazy decoding instead of a full re-parse.
+//
 // Observability: -metrics-out dumps each policy's counter registry
 // (plus per-phase wall-clock times) as JSON, -events-out streams
 // per-trigger and per-miss telemetry as JSONL (cmd/report -events
@@ -29,6 +36,8 @@
 //	simulate -data ./data -lenient                          # salvage damaged traces
 //	simulate -data ./data -multiplex                        # both policies in one pass
 //	simulate -data ./data -metrics-out m.json -events-out e.jsonl -audit-sample 0.01
+//	simulate -data ./data -vfs-snapshot-out fs.snap                 # write the binary snapfile
+//	simulate -data ./data -vfs-snapshot fs.snap -shards 16          # reopen it, sharded replay
 package main
 
 import (
@@ -52,6 +61,7 @@ import (
 	"activedr/internal/stats"
 	"activedr/internal/timeutil"
 	"activedr/internal/trace"
+	"activedr/internal/vfs"
 )
 
 // options carries every flag after validation; run never sees raw,
@@ -62,6 +72,10 @@ type options struct {
 	target   float64
 	interval int
 	snapDir  string
+	shards   int
+
+	vfsSnap    string
+	vfsSnapOut string
 
 	lenient    bool
 	maxErrors  int
@@ -99,6 +113,10 @@ func parseFlags(args []string, errOut io.Writer) (*options, error) {
 	fs.Float64Var(&o.target, "target", 0.5, "ActiveDR purge target utilization, in (0,1]")
 	fs.IntVar(&o.interval, "interval", 7, "purge trigger interval in days")
 	fs.StringVar(&o.snapDir, "snapshots", "", "write the FLT run's weekly metadata snapshot series to this directory")
+	fs.IntVar(&o.shards, "shards", 0, "replay against a user-hash-sharded namespace with this many shards (0 or 1 = single tree; results are bit-identical either way)")
+
+	fs.StringVar(&o.vfsSnap, "vfs-snapshot", "", "open the initial file system from this binary snapfile instead of parsing the dataset's snapshot TSV")
+	fs.StringVar(&o.vfsSnapOut, "vfs-snapshot-out", "", "write the initial file system to this binary snapfile after loading; later runs reopen it with -vfs-snapshot")
 
 	fs.BoolVar(&o.lenient, "lenient", false, "quarantine malformed trace lines instead of aborting")
 	fs.IntVar(&o.maxErrors, "max-errors", trace.DefaultMaxErrors, "per-file quarantine cap in -lenient mode")
@@ -146,6 +164,9 @@ func (o *options) validate() error {
 	}
 	if o.maxErrors < 1 {
 		return fmt.Errorf("-max-errors must be >= 1, got %d", o.maxErrors)
+	}
+	if o.shards < 0 || o.shards > vfs.MaxShards {
+		return fmt.Errorf("-shards must be in [0,%d], got %d", vfs.MaxShards, o.shards)
 	}
 	if !(o.faultProb >= 0 && o.faultProb <= 1) {
 		return fmt.Errorf("-faults probability must be in [0,1], got %v", o.faultProb)
@@ -225,11 +246,27 @@ func run(o *options, out io.Writer) (err error) {
 	if err != nil {
 		return err
 	}
+	baseFS, err := openSnapfileBase(o, ds, out)
+	if err != nil {
+		return err
+	}
+	if o.vfsSnapOut != "" {
+		if baseFS != nil {
+			err = vfs.WriteSnapfile(o.vfsSnapOut, baseFS, ds.Snapshot.Taken)
+		} else {
+			err = vfs.WriteSnapfileFromSnapshot(o.vfsSnapOut, &ds.Snapshot)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote snapfile %s\n", o.vfsSnapOut)
+	}
 
 	cfg := sim.Config{
 		Lifetime:          timeutil.Days(o.lifetime),
 		TriggerInterval:   timeutil.Days(o.interval),
 		TargetUtilization: o.target,
+		Shards:            o.shards,
 	}
 	if o.snapDir != "" {
 		cfg.SnapshotEvery = timeutil.Days(7)
@@ -326,10 +363,16 @@ func run(o *options, out io.Writer) (err error) {
 		if err != nil {
 			return err
 		}
-		res, err := sim.RunMultiplexed(ds, []sim.LaneSpec{
+		lanes := []sim.LaneSpec{
 			{Config: cfg, Policy: sim.PolicyFLT, Opts: fltOpts},
 			{Config: cfg, Policy: sim.PolicyActiveDR, Opts: adrOpts},
-		})
+		}
+		var res []*sim.Result
+		if baseFS != nil {
+			res, err = sim.NewMultiplexerWithBase(ds, baseFS).Run(lanes)
+		} else {
+			res, err = sim.RunMultiplexed(ds, lanes)
+		}
 		if err != nil {
 			return err
 		}
@@ -337,7 +380,12 @@ func run(o *options, out io.Writer) (err error) {
 		adrFinish()
 		cmp.FLT, cmp.ActiveDR = res[0], res[1]
 	} else {
-		em, err := sim.New(ds, cfg)
+		var em *sim.Emulator
+		if baseFS != nil {
+			em, err = sim.NewWithBase(ds, baseFS, cfg)
+		} else {
+			em, err = sim.New(ds, cfg)
+		}
 		if err != nil {
 			return err
 		}
@@ -429,8 +477,42 @@ func run(o *options, out io.Writer) (err error) {
 // -fault-read is set — through the injector's transient-error gauntlet
 // with retry/backoff, the way a flaky parallel file system would serve
 // them.
+// openSnapfileBase opens -vfs-snapshot, decodes it into the initial
+// file system, and stamps its capture time onto the dataset (the TSV
+// snapshot was skipped at load time, so ds.Snapshot.Taken is zero
+// until here). Returns nil when the flag is unset.
+func openSnapfileBase(o *options, ds *trace.Dataset, out io.Writer) (*vfs.FS, error) {
+	if o.vfsSnap == "" {
+		return nil, nil
+	}
+	sf, err := vfs.OpenSnapfile(o.vfsSnap)
+	if err != nil {
+		return nil, err
+	}
+	base, err := vfs.LoadSnapfileFS(sf)
+	count := sf.Count()
+	if cerr := sf.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	ds.Snapshot.Taken = sf.Taken()
+	// Snapfile records carry raw user ids; bound them against the user
+	// table the way Dataset.Validate bounds TSV snapshot rows.
+	for _, u := range base.Users() {
+		if int(u) >= len(ds.Users) {
+			return nil, fmt.Errorf("snapfile %s references unknown user %d (dataset has %d users)", o.vfsSnap, u, len(ds.Users))
+		}
+	}
+	fmt.Fprintf(out, "opened snapfile %s: %d files (%.2f TB), taken %s\n",
+		o.vfsSnap, count, float64(base.TotalBytes())/1e12, sf.Taken().DateString())
+	return base, nil
+}
+
 func loadDataset(o *options, out io.Writer) (*trace.Dataset, error) {
-	ropts := trace.ReadOptions{Lenient: o.lenient, MaxErrors: o.maxErrors, Sequential: o.sequential}
+	ropts := trace.ReadOptions{Lenient: o.lenient, MaxErrors: o.maxErrors, Sequential: o.sequential,
+		SkipSnapshot: o.vfsSnap != ""}
 	var inj *faults.Injector
 	if o.faultRead > 0 {
 		cfg := faults.Config{Seed: o.faultSeed, ReadFailProb: o.faultRead}

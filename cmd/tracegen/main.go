@@ -3,9 +3,15 @@
 // publication list, and reference metadata snapshot — into a
 // directory consumable by cmd/activedr and cmd/simulate.
 //
+// -preset spider streams a Spider II-scale namespace (a million
+// users, over ten million files) directly into a binary snapfile in
+// bounded memory, skipping the snapshot TSV entirely; cmd/simulate
+// reopens it with -vfs-snapshot.
+//
 // Usage:
 //
 //	tracegen -out ./data -users 2000 -seed 42
+//	tracegen -out ./data -preset spider
 package main
 
 import (
@@ -15,9 +21,11 @@ import (
 	"io"
 	"log"
 	"os"
+	"path/filepath"
 
 	"activedr/internal/synth"
 	"activedr/internal/trace"
+	"activedr/internal/vfs"
 )
 
 // options carries tracegen's flags after validation.
@@ -27,6 +35,9 @@ type options struct {
 	seed       uint64
 	quiet      bool
 	sequential bool
+	snapOut    string
+	preset     string
+	usersSet   bool
 }
 
 // parseFlags binds the flag set to an options struct and validates
@@ -41,9 +52,16 @@ func parseFlags(args []string, errOut io.Writer) (*options, error) {
 	fs.Uint64Var(&o.seed, "seed", 0, "random seed (0 = built-in default)")
 	fs.BoolVar(&o.quiet, "q", false, "suppress the summary")
 	fs.BoolVar(&o.sequential, "sequential", false, "write trace files one at a time instead of concurrently (A/B fallback; identical bytes)")
+	fs.StringVar(&o.snapOut, "vfs-snapshot-out", "", "also write the metadata snapshot as a binary snapfile to this path (cmd/simulate reopens it with -vfs-snapshot)")
+	fs.StringVar(&o.preset, "preset", "", "scale preset; \"spider\" streams a Spider II-scale namespace (1M users, 10M+ files) straight into a snapfile, bounded memory, no snapshot TSV")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "users" {
+			o.usersSet = true
+		}
+	})
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
@@ -56,6 +74,9 @@ func (o *options) validate() error {
 	}
 	if o.users < 1 {
 		return fmt.Errorf("-users must be >= 1, got %d", o.users)
+	}
+	if o.preset != "" && o.preset != "spider" {
+		return fmt.Errorf("unknown -preset %q (only \"spider\")", o.preset)
 	}
 	return nil
 }
@@ -75,13 +96,64 @@ func main() {
 	}
 }
 
+// runSpider is the streamed preset path: the user table and empty
+// activity traces go out as a normal (tiny) dataset directory, while
+// the 10M+-file namespace streams straight from the generator into a
+// snapfile — no snapshot TSV, no in-memory materialization. Replay it
+// with: simulate -data <out> -vfs-snapshot <out>/fs.snap.
+func runSpider(o *options, out io.Writer) error {
+	cfg := synth.SpiderStream(o.seed)
+	if o.usersSet {
+		cfg.Users = o.users
+	}
+	ds := &trace.Dataset{Users: cfg.StreamUsers()}
+	ds.Snapshot.Taken = cfg.Taken
+	if err := trace.WriteDatasetWith(o.out, ds, trace.WriteOptions{Sequential: o.sequential}); err != nil {
+		return err
+	}
+	snapPath := o.snapOut
+	if snapPath == "" {
+		snapPath = filepath.Join(o.out, "fs.snap")
+	}
+	w, err := vfs.NewSnapfileWriter(snapPath, cfg.Taken)
+	if err != nil {
+		return err
+	}
+	n, err := synth.StreamSnapshot(cfg, func(e trace.SnapshotEntry) error {
+		return w.Add(e.Path, vfs.FileMeta{User: e.User, Size: e.Size, Stripes: e.Stripes, ATime: e.ATime})
+	})
+	if err != nil {
+		_ = w.Abort()
+		return err
+	}
+	if err := w.Finish(); err != nil {
+		return err
+	}
+	if !o.quiet {
+		fmt.Fprintf(out, "wrote %s: %d users; streamed %d snapshot files to snapfile %s\n",
+			o.out, len(ds.Users), n, snapPath)
+	}
+	return nil
+}
+
 func run(o *options, out io.Writer) error {
+	if o.preset == "spider" {
+		return runSpider(o, out)
+	}
 	ds, err := synth.Generate(synth.Config{Seed: o.seed, Users: o.users})
 	if err != nil {
 		return err
 	}
 	if err := trace.WriteDatasetWith(o.out, ds, trace.WriteOptions{Sequential: o.sequential}); err != nil {
 		return err
+	}
+	if o.snapOut != "" {
+		if err := vfs.WriteSnapfileFromSnapshot(o.snapOut, &ds.Snapshot); err != nil {
+			return err
+		}
+		if !o.quiet {
+			fmt.Fprintf(out, "wrote snapfile %s\n", o.snapOut)
+		}
 	}
 	if !o.quiet {
 		fmt.Fprintf(out,

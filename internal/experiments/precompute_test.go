@@ -71,7 +71,7 @@ func sameResult(t *testing.T, label string, want, got *sim.Result) {
 	}
 	for _, fs := range []struct {
 		name      string
-		want, got *vfs.FS
+		want, got vfs.Namespace
 	}{{"final", want.Final, got.Final}, {"captured", want.Captured, got.Captured}} {
 		if (fs.want == nil) != (fs.got == nil) {
 			t.Errorf("%s: %s state presence diverges", label, fs.name)

@@ -1,0 +1,32 @@
+//go:build linux
+
+package fsx
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// MmapSupported reports whether read-only memory mapping is available
+// on this platform; when false, Mmap always fails and callers fall
+// back to paged reads.
+const MmapSupported = true
+
+// Mmap maps size bytes of f read-only. It returns the mapping and an
+// unmap function that must be called exactly once when the mapping is
+// no longer referenced. A zero size maps nothing (empty slice, no-op
+// unmap): mmap of length 0 is an error on Linux.
+func Mmap(f *os.File, size int64) ([]byte, func() error, error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	if size < 0 || size > int64(^uint(0)>>1) {
+		return nil, nil, fmt.Errorf("fsx: mmap size %d out of range", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fsx: mmap: %w", err)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,22 @@
+//go:build !linux
+
+package fsx
+
+import (
+	"errors"
+	"os"
+)
+
+// MmapSupported reports whether read-only memory mapping is available
+// on this platform; when false, Mmap always fails and callers fall
+// back to paged reads.
+const MmapSupported = false
+
+// ErrMmapUnsupported is returned by Mmap on platforms without a
+// memory-mapping implementation; callers fall back to paged reads.
+var ErrMmapUnsupported = errors.New("fsx: mmap not supported on this platform")
+
+// Mmap is unavailable on this platform.
+func Mmap(_ *os.File, _ int64) ([]byte, func() error, error) {
+	return nil, nil, ErrMmapUnsupported
+}

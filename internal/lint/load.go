@@ -1,15 +1,18 @@
 package lint
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -203,6 +206,56 @@ func isGoSource(name string) bool {
 	return strings.HasSuffix(name, ".go") && !strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_")
 }
 
+// buildTagSatisfied evaluates one //go:build tag against the host
+// platform, the way the loader's single-configuration type-check sees
+// it: GOOS/GOARCH of the running binary, "unix" for unix-like GOOS
+// values, and every go1.N release tag (the toolchain compiling the
+// linter satisfies the module's language version by construction).
+func buildTagSatisfied(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH:
+		return true
+	case "unix":
+		switch runtime.GOOS {
+		case "aix", "android", "darwin", "dragonfly", "freebsd", "hurd",
+			"illumos", "ios", "linux", "netbsd", "openbsd", "solaris":
+			return true
+		}
+		return false
+	}
+	return strings.HasPrefix(tag, "go1")
+}
+
+// excludedByBuildConstraint reports whether path carries a //go:build
+// line that rules this platform out. Platform-split files (e.g.
+// fsx's mmap_linux.go / mmap_other.go pair) otherwise load into one
+// package and collide on their shared declarations. Only the modern
+// //go:build form is honored; unparseable or absent constraints keep
+// the file in, matching the loader's permissive posture.
+func excludedByBuildConstraint(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "package ") {
+			break // constraints must precede the package clause
+		}
+		if !constraint.IsGoBuild(line) {
+			continue
+		}
+		expr, err := constraint.Parse(line)
+		if err != nil {
+			return false
+		}
+		return !expr.Eval(buildTagSatisfied)
+	}
+	return false
+}
+
 // loadDir parses and type-checks the single package in dir. It
 // returns nil (no error) for directories with no matching Go files.
 func (l *Loader) loadDir(dir string) (*Package, error) {
@@ -216,6 +269,9 @@ func (l *Loader) loadDir(dir string) (*Package, error) {
 			continue
 		}
 		if !l.IncludeTests && strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		if excludedByBuildConstraint(filepath.Join(dir, e.Name())) {
 			continue
 		}
 		names = append(names, e.Name())

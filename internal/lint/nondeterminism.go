@@ -22,6 +22,9 @@ var deterministicPkgs = []string{
 	"internal/faults",
 	"internal/obs",
 	"internal/wal",
+	// Durable-file and mmap primitives sit under the snapfile decode
+	// path; replay startup must be as replayable as the replay.
+	"internal/fsx",
 	// The sweep orchestrator replays every figure's comparison through
 	// the multiplexed runner; its tables and figure data must be as
 	// bit-stable as the replays behind them.

@@ -26,9 +26,12 @@ import (
 // holds the activeness rank of every user (indexed by UserID) as
 // evaluated at tc; policies that do not use activeness (FLT) still
 // receive it so reports can attribute purges to activeness groups.
+// The namespace may be a single tree or a sharded view (vfs.Sharded);
+// the selection contract guarantees identical candidate streams
+// either way.
 type Policy interface {
 	Name() string
-	Purge(fsys *vfs.FS, ranks []activeness.Rank, tc timeutil.Time) *Report
+	Purge(fsys vfs.Namespace, ranks []activeness.Rank, tc timeutil.Time) *Report
 }
 
 // FaultInjector simulates storage-layer failures during a purge pass.
@@ -140,7 +143,7 @@ func rankOf(ranks []activeness.Rank, u trace.UserID) activeness.Rank {
 
 // groupTotals seeds the per-group before-pass accounting from the
 // per-user counters the FS maintains — O(users), no namespace walk.
-func groupTotals(fsys *vfs.FS, ranks []activeness.Rank, report *Report, users []trace.UserID) {
+func groupTotals(fsys vfs.Namespace, ranks []activeness.Rank, report *Report, users []trace.UserID) {
 	for _, u := range users {
 		g := rankOf(ranks, u).Group()
 		report.Groups[g].Users++
@@ -198,7 +201,7 @@ func (f *FLT) SetFaults(fi FaultInjector) { f.Faults = fi }
 func (f *FLT) SetProbe(p *obs.PurgeProbe) { f.Probe = p }
 
 // Purge runs one fixed-lifetime purge pass at time tc.
-func (f *FLT) Purge(fsys *vfs.FS, ranks []activeness.Rank, tc timeutil.Time) *Report {
+func (f *FLT) Purge(fsys vfs.Namespace, ranks []activeness.Rank, tc timeutil.Time) *Report {
 	timer := profiling.StartTimer()
 	report := &Report{
 		Policy:      f.Name(),
@@ -524,7 +527,7 @@ func (a *ActiveDR) lifetime(r activeness.Rank, pass int) timeutil.Duration {
 }
 
 // Purge runs one ActiveDR retention pass at time tc.
-func (a *ActiveDR) Purge(fsys *vfs.FS, ranks []activeness.Rank, tc timeutil.Time) *Report {
+func (a *ActiveDR) Purge(fsys vfs.Namespace, ranks []activeness.Rank, tc timeutil.Time) *Report {
 	timer := profiling.StartTimer()
 	report := &Report{
 		Policy:      a.Name(),
@@ -630,8 +633,8 @@ phaseLoop:
 // run: the input file system is left untouched. The policy's own
 // CollectVictims knob is not required; Plan forces collection via the
 // planner interface both built-in policies implement.
-func Plan(p Policy, fsys *vfs.FS, ranks []activeness.Rank, tc timeutil.Time) *Report {
-	clone := fsys.Clone()
+func Plan(p Policy, fsys vfs.Namespace, ranks []activeness.Rank, tc timeutil.Time) *Report {
+	clone := fsys.CloneNS()
 	if c, ok := p.(victimCollector); ok {
 		restore := c.setCollectVictims(true)
 		defer restore()

@@ -22,9 +22,11 @@ type candidateSource interface {
 	staleFiles(dst []vfs.Candidate, u trace.UserID, cutoff timeutil.Time) []vfs.Candidate
 }
 
-// indexedSource answers queries from the FS's incremental per-user
-// atime index: O(stale + tombstones) per query, no namespace walk.
-type indexedSource struct{ fs *vfs.FS }
+// indexedSource answers queries from the namespace's incremental
+// per-user atime index: O(stale + tombstones) per query, no namespace
+// walk. A sharded namespace fans the query out and k-way merges, which
+// preserves the (ATime, Path) order bit for bit.
+type indexedSource struct{ fs vfs.Namespace }
 
 func (s indexedSource) users() []trace.UserID { return s.fs.Users() }
 
@@ -38,11 +40,11 @@ func (s indexedSource) staleFiles(dst []vfs.Candidate, u trace.UserID, cutoff ti
 // sorts. Kept as the equivalence baseline and the benchmark contrast
 // for the incremental index.
 type legacySource struct {
-	fs      *vfs.FS
+	fs      vfs.Namespace
 	buckets map[trace.UserID][]string
 }
 
-func newLegacySource(fs *vfs.FS) *legacySource {
+func newLegacySource(fs vfs.Namespace) *legacySource {
 	return &legacySource{fs: fs, buckets: fs.FilesByUser()}
 }
 
@@ -70,7 +72,7 @@ func (s *legacySource) staleFiles(dst []vfs.Candidate, u trace.UserID, cutoff ti
 }
 
 // selectionFor picks the candidate source for a pass.
-func selectionFor(fs *vfs.FS, legacy bool) candidateSource {
+func selectionFor(fs vfs.Namespace, legacy bool) candidateSource {
 	if legacy {
 		return newLegacySource(fs)
 	}

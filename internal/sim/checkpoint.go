@@ -494,7 +494,7 @@ func (e *Emulator) loadCheckpoint(policy retention.Policy, opts RunOptions) (*ru
 	if err != nil {
 		return nil, fmt.Errorf("sim: checkpoint %s: %w", full, err)
 	}
-	fsys, err := vfs.FromSnapshot(snap)
+	tree, err := vfs.FromSnapshot(snap)
 	if err != nil {
 		return nil, fmt.Errorf("sim: checkpoint %s: %w", full, err)
 	}
@@ -505,7 +505,7 @@ func (e *Emulator) loadCheckpoint(policy retention.Policy, opts RunOptions) (*ru
 			return nil, fmt.Errorf("sim: checkpoint %s: delta %s: %w", name, dn, err)
 		}
 		for _, p := range deleted {
-			fsys.Remove(p)
+			tree.Remove(p)
 		}
 		up, err := trace.ReadSnapshotFile(filepath.Join(dir, dn, deltaFile), idx)
 		if err != nil {
@@ -513,9 +513,19 @@ func (e *Emulator) loadCheckpoint(policy retention.Policy, opts RunOptions) (*ru
 		}
 		for i := range up.Entries {
 			ue := &up.Entries[i]
-			if err := fsys.Insert(ue.Path, vfs.FileMeta{User: ue.User, Size: ue.Size, Stripes: ue.Stripes, ATime: ue.ATime}); err != nil {
+			if err := tree.Insert(ue.Path, vfs.FileMeta{User: ue.User, Size: ue.Size, Stripes: ue.Stripes, ATime: ue.ATime}); err != nil {
 				return nil, fmt.Errorf("sim: checkpoint %s: delta %s: %w", name, dn, err)
 			}
+		}
+	}
+	// Re-partition under the resuming configuration's shard count. The
+	// serialized format is shard-agnostic (a plain snapshot), so a
+	// checkpoint written at one shard count resumes at any other; this
+	// is why Shards stays out of the config digest.
+	var fsys vfs.Namespace = tree
+	if e.cfg.Shards > 1 {
+		if fsys, err = vfs.ShardFS(tree, e.cfg.Shards); err != nil {
+			return nil, fmt.Errorf("sim: checkpoint %s: %w", name, err)
 		}
 	}
 	res := &Result{

@@ -13,6 +13,7 @@ package sim
 // every multiplexed run over the same dataset.
 
 import (
+	"math"
 	"sort"
 
 	"activedr/internal/timeutil"
@@ -58,6 +59,16 @@ func buildColFeed(ds *trace.Dataset, interval timeutil.Duration) (*colFeed, bool
 	}
 	t0 := ds.Snapshot.Taken
 	if acc[0].TS < t0 {
+		return nil, false
+	}
+	// The feed's indexes (event positions in order, path ids, run
+	// offsets) are all int32, and each is bounded by the event count:
+	// distinct paths ≤ events, order holds one entry per event, and a
+	// run's offset is a position in order. One guard here makes every
+	// int32 conversion below exact instead of silently truncating on a
+	// >2^31-event log; such a log falls back to the sequential path,
+	// which has no width assumption.
+	if len(acc) > math.MaxInt32 {
 		return nil, false
 	}
 	for i := 1; i < len(acc); i++ {

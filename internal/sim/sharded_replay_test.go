@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"activedr/internal/faults"
+	"activedr/internal/synth"
+	"activedr/internal/timeutil"
+)
+
+// shardFaults builds the fault injector the sharded equivalence matrix
+// runs under (nil when off). Each compared side gets a fresh injector
+// from the same seed, so a divergent draw order surfaces as a result
+// mismatch rather than silently reconverging.
+func shardFaults(on bool) *faults.Injector {
+	if !on {
+		return nil
+	}
+	return faults.New(faults.Config{Seed: 42, UnlinkFailProb: 0.05, ScanInterruptProb: 0.05})
+}
+
+// TestShardedReplayEquivalence is the sharding tentpole's
+// non-negotiable bar: a replay over the user-hash-sharded namespace is
+// bit-identical — Results, day stats, purge reports, final and
+// captured file-system state, checkpoint state, and the checkpointed
+// file-system sidecar — to the same replay over the single tree, for
+// every shard count in {1, 4, 16}, both policies, with and without
+// fault injection. The k-way candidate merge and preorder walk merge
+// must reproduce the single tree's lexicographic order exactly for
+// this to hold.
+func TestShardedReplayEquivalence(t *testing.T) {
+	ds, err := synth.Generate(synth.Config{Seed: 11, Users: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, faultsOn := range []bool{false, true} {
+		for _, policy := range []string{"flt", "adr"} {
+			t.Run(fmt.Sprintf("%s/faults=%t", policy, faultsOn), func(t *testing.T) {
+				baseCfg := Config{TargetUtilization: 0.5, CaptureAt: timeutil.Date(2016, 7, 1)}
+				baseDir := t.TempDir()
+				em, err := New(ds, baseCfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := em.RunWith(policyFor(t, em, policy), RunOptions{
+					CheckpointDir: baseDir, CheckpointEvery: 20, Faults: shardFaults(faultsOn),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, shards := range []int{1, 4, 16} {
+					cfg := baseCfg
+					cfg.Shards = shards
+					dir := t.TempDir()
+					sem, err := New(ds, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := sem.RunWith(policyFor(t, sem, policy), RunOptions{
+						CheckpointDir: dir, CheckpointEvery: 20, Faults: shardFaults(faultsOn),
+					})
+					if err != nil {
+						t.Fatalf("shards=%d: %v", shards, err)
+					}
+					requireSameResult(t, want, got)
+					if !reflect.DeepEqual(normalizeCheckpoint(t, baseDir), normalizeCheckpoint(t, dir)) {
+						t.Errorf("shards=%d: checkpoint state diverges from single-tree run", shards)
+					}
+					if !bytes.Equal(readSidecar(t, baseDir), readSidecar(t, dir)) {
+						t.Errorf("shards=%d: checkpointed file system not byte-identical to single-tree run", shards)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardedMultiplexEquivalence runs the multiplexed fixture lanes
+// over a sharded namespace (per-shard lane groups, parallel batch
+// apply) and requires every lane bit-identical — results, checkpoint
+// state, sidecar bytes — to the unsharded multiplexed pass of the same
+// lanes. Chained with TestMultiplexedReplayEquivalence this transitively
+// pins sharded-multiplexed ≡ sequential single-tree.
+func TestShardedMultiplexEquivalence(t *testing.T) {
+	ds, err := synth.Generate(synth.Config{Seed: 11, Users: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, faultsOn := range []bool{false, true} {
+		t.Run(fmt.Sprintf("faults=%t", faultsOn), func(t *testing.T) {
+			runLanes := func(shards int) ([]*Result, []string) {
+				lanes := multiplexFixtureLanes()
+				dirs := make([]string, len(lanes))
+				for i := range lanes {
+					lanes[i].Config.Shards = shards
+					dirs[i] = t.TempDir()
+					lanes[i].Opts = RunOptions{CheckpointDir: dirs[i], CheckpointEvery: 20, Faults: shardFaults(faultsOn)}
+				}
+				res, err := RunMultiplexed(ds, lanes)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res, dirs
+			}
+			want, wantDirs := runLanes(0)
+			for _, shards := range []int{4, 16} {
+				got, gotDirs := runLanes(shards)
+				for i := range want {
+					requireSameResult(t, want[i], got[i])
+					if !reflect.DeepEqual(normalizeCheckpoint(t, wantDirs[i]), normalizeCheckpoint(t, gotDirs[i])) {
+						t.Errorf("shards=%d lane %d: checkpoint state diverges", shards, i)
+					}
+					if !bytes.Equal(readSidecar(t, wantDirs[i]), readSidecar(t, gotDirs[i])) {
+						t.Errorf("shards=%d lane %d: checkpointed file system diverges", shards, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedResumeAcrossShardCounts pins the checkpoint contract that
+// lets Config.Shards stay out of the config digest: the serialized
+// checkpoint is a shard-agnostic snapshot, so a run interrupted under
+// one shard count resumes under another — and under none — with
+// results bit-identical to the uninterrupted unsharded run.
+func TestShardedResumeAcrossShardCounts(t *testing.T) {
+	ds, err := synth.Generate(synth.Config{Seed: 11, Users: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{TargetUtilization: 0.5}
+	em, err := New(ds, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := em.Run(policyFor(t, em, "adr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, counts := range [][2]int{{4, 16}, {16, 0}, {0, 4}} {
+		stopCfg, resumeCfg := base, base
+		stopCfg.Shards, resumeCfg.Shards = counts[0], counts[1]
+		dir := t.TempDir()
+		em1, err := New(ds, stopCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := em1.RunWith(policyFor(t, em1, "adr"), RunOptions{
+			CheckpointDir: dir, CheckpointEvery: 2, StopAfterTriggers: 6,
+		}); !errors.Is(err, ErrInterrupted) {
+			t.Fatalf("stop under shards=%d: %v", counts[0], err)
+		}
+		em2, err := New(ds, resumeCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := em2.Resume(policyFor(t, em2, "adr"), RunOptions{
+			CheckpointDir: dir, CheckpointEvery: 2,
+		})
+		if err != nil {
+			t.Fatalf("resume under shards=%d: %v", counts[1], err)
+		}
+		requireSameResult(t, want, got)
+	}
+}
+
+// TestShardedConfigValidation rejects shard counts the vfs layer
+// cannot build, both on the sequential and the multiplexed entry
+// points, and requires multiplexed lanes to agree on one layout.
+func TestShardedConfigValidation(t *testing.T) {
+	ds := tinyDataset()
+	for _, shards := range []int{-1, 257} {
+		if _, err := New(ds, Config{Shards: shards}); err == nil {
+			t.Errorf("New accepted shards=%d", shards)
+		}
+	}
+	if _, err := RunMultiplexed(ds, []LaneSpec{
+		{Policy: PolicyFLT, Config: Config{Lifetime: timeutil.Days(30), Shards: 4}},
+		{Policy: PolicyFLT, Config: Config{Lifetime: timeutil.Days(60), Shards: 8}},
+	}); err == nil {
+		t.Error("RunMultiplexed accepted lanes with mismatched shard counts")
+	}
+}

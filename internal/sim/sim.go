@@ -71,6 +71,15 @@ type Config struct {
 	// (see TestIndexedSelectionEquivalence); the knob exists for that
 	// proof and for before/after benchmarking.
 	LegacySelection bool
+	// Shards > 1 replays against a user-hash-sharded namespace
+	// (vfs.Sharded) instead of one tree: stale scans fan out across
+	// shard-local indexes and k-way merge, which bounds per-shard tree
+	// and index size on spider-scale snapshots. The replay is
+	// bit-identical to the single-tree path (TestShardedReplay
+	// Equivalence), so Shards is a layout knob, not a semantic one —
+	// it is deliberately excluded from the checkpoint digest, and a
+	// checkpoint written at one shard count resumes at any other.
+	Shards int
 }
 
 // Defaults fills unset knobs with the paper's values.
@@ -127,14 +136,14 @@ type Result struct {
 	MissesByGroup [activeness.NumGroups]int64
 	// Captured is the file-system state at Config.CaptureAt (nil
 	// unless requested).
-	Captured *vfs.FS
+	Captured vfs.Namespace
 	// Snapshots is the periodic metadata snapshot series (empty unless
 	// Config.SnapshotEvery is set). Snapshots are taken at purge
 	// triggers, after the purge ran — exactly what a post-retention
 	// metadata scan would record.
 	Snapshots []*trace.Snapshot
 	// Final is the file-system state at the end of the replay.
-	Final *vfs.FS
+	Final vfs.Namespace
 	// Elapsed is the wall-clock emulation time.
 	Elapsed time.Duration
 }
@@ -173,13 +182,27 @@ type Emulator struct {
 // activity traces (job submissions as the operation type,
 // publications as the outcome type — the paper's configuration).
 func New(ds *trace.Dataset, cfg Config) (*Emulator, error) {
+	base, err := vfs.FromSnapshot(&ds.Snapshot)
+	if err != nil {
+		return nil, fmt.Errorf("sim: load snapshot: %w", err)
+	}
+	return NewWithBase(ds, base, cfg)
+}
+
+// NewWithBase prepares an emulator over a pre-built initial file
+// system instead of parsing ds.Snapshot's entries — the entry point
+// for snapfile-backed startup (vfs.LoadSnapfileFS), where the tree is
+// decoded straight from the binary format. ds.Snapshot.Taken must
+// carry the state's capture time (it anchors the trigger grid and the
+// predate checks); the snapshot's Entries slice is never consulted
+// and may be empty.
+func NewWithBase(ds *trace.Dataset, base *vfs.FS, cfg Config) (*Emulator, error) {
 	cfg = cfg.Defaults()
 	if cfg.TriggerInterval <= 0 || cfg.Lifetime <= 0 || cfg.PeriodLength <= 0 {
 		return nil, fmt.Errorf("sim: non-positive durations in config")
 	}
-	base, err := vfs.FromSnapshot(&ds.Snapshot)
-	if err != nil {
-		return nil, fmt.Errorf("sim: load snapshot: %w", err)
+	if err := validateShards(cfg.Shards); err != nil {
+		return nil, err
 	}
 	if cfg.Capacity == 0 {
 		cfg.Capacity = base.TotalBytes()
@@ -289,10 +312,19 @@ type RunOptions struct {
 // RunOptions.StopAfterTriggers. The partial Result is still returned.
 var ErrInterrupted = errors.New("sim: run interrupted")
 
+// validateShards rejects shard counts the vfs layer cannot build.
+// Zero and one both mean the plain single-tree namespace.
+func validateShards(n int) error {
+	if n < 0 || n > vfs.MaxShards {
+		return fmt.Errorf("sim: shard count %d outside [0,%d]", n, vfs.MaxShards)
+	}
+	return nil
+}
+
 // runState is the mutable replay state between accesses; checkpoints
 // serialize it and Resume reconstructs it mid-year.
 type runState struct {
-	fsys        *vfs.FS
+	fsys        vfs.Namespace
 	res         *Result
 	cursor      int // index of the next unreplayed access
 	nextTrigger timeutil.Time
@@ -328,7 +360,7 @@ func (e *Emulator) freshState(policy retention.Policy) *runState {
 		return cursors.EvaluateAll(e.users, at)
 	}
 	return &runState{
-		fsys:        e.base.Clone(),
+		fsys:        e.replayFS(e.base),
 		res:         &Result{Policy: policy.Name()},
 		nextTrigger: t0.Add(e.cfg.TriggerInterval),
 		ranks:       ranker(t0),
@@ -337,6 +369,22 @@ func (e *Emulator) freshState(policy retention.Policy) *runState {
 		cursors:     cursors,
 		ranker:      ranker,
 	}
+}
+
+// replayFS builds the namespace a replay mutates from a single-tree
+// base: a private clone, re-partitioned across shards when the
+// configuration asks for them. The base itself is never touched.
+func (e *Emulator) replayFS(base *vfs.FS) vfs.Namespace {
+	if e.cfg.Shards > 1 {
+		s, err := vfs.ShardFS(base, e.cfg.Shards)
+		if err != nil {
+			// Shards was validated in New; the only failure mode left is
+			// a programming error, which must not silently degrade.
+			panic(fmt.Sprintf("sim: shard base: %v", err))
+		}
+		return s
+	}
+	return base.Clone()
 }
 
 // Run replays the access log against one policy.
@@ -473,14 +521,14 @@ func (e *Emulator) replay(policy retention.Policy, opts RunOptions, st *runState
 		}
 	}
 	if !st.captured {
-		res.Captured = st.fsys.Clone()
+		res.Captured = st.fsys.CloneNS()
 	}
 	res.Final = st.fsys
 	res.Elapsed = timer.Elapsed()
 	return res, nil
 }
 
-func insert(fsys *vfs.FS, a *trace.Access) {
+func insert(fsys vfs.Namespace, a *trace.Access) {
 	// Access records carry the file size; stripes are re-derived from
 	// nothing (1) since the policies never read them during replay.
 	_ = fsys.Insert(a.Path, vfs.FileMeta{User: a.User, Size: a.Size, Stripes: 1, ATime: a.TS})

@@ -1,0 +1,130 @@
+package synth
+
+// Streamed snapshot generation for out-of-core namespace scales.
+// Generate materializes the whole dataset — fine at the reference
+// scale, hopeless at the paper's Spider II scale (10⁶ users, 10⁷+
+// files). StreamSnapshot instead emits snapshot entries one at a time
+// in strictly ascending path order, holding only one user's generator
+// state, so the entries can feed vfs.SnapfileWriter (which spools to
+// disk) and the whole run stays bounded-memory no matter the scale.
+
+import (
+	"fmt"
+	"time"
+
+	"activedr/internal/randx"
+	"activedr/internal/timeutil"
+	"activedr/internal/trace"
+)
+
+// StreamConfig parameterizes the streamed snapshot generator.
+type StreamConfig struct {
+	Seed uint64
+	// Users is the population size; user IDs are dense [0, Users).
+	Users int
+	// MeanFiles is the mean snapshot file count per user (each user
+	// draws uniformly from [1, 2*MeanFiles-1], so the expected total
+	// is Users*MeanFiles).
+	MeanFiles int
+	// Taken is the snapshot capture time; access times fall within
+	// the year before it (the pre-filter window Generate also uses).
+	Taken timeutil.Time
+}
+
+// Defaults fills unset fields with the reference scale.
+func (c StreamConfig) Defaults() StreamConfig {
+	if c.Seed == 0 {
+		c.Seed = 0x5eed_ac71_7eda
+	}
+	if c.Users == 0 {
+		c.Users = 2000
+	}
+	if c.MeanFiles == 0 {
+		c.MeanFiles = 12
+	}
+	if c.Taken == 0 {
+		c.Taken = timeutil.Date(2015, time.December, 26)
+	}
+	return c
+}
+
+// SpiderStream is the "spider" preset: the order of magnitude of the
+// paper's Spider II namespace — a million users, over ten million
+// snapshot files. Only meaningful through StreamSnapshot; feeding it
+// to Generate would materialize the lot.
+func SpiderStream(seed uint64) StreamConfig {
+	return StreamConfig{Seed: seed, Users: 1_000_000, MeanFiles: 12}.Defaults()
+}
+
+// StreamUsers returns the user table matching a streamed snapshot.
+// Names are u%07d — seven digits, unlike Generate's five — so that
+// name order, ID order, and snapshot path order all agree at the
+// million-user scale (path order is what the snapfile format and the
+// shard merge key on).
+func (c StreamConfig) StreamUsers() []trace.User {
+	c = c.Defaults()
+	users := make([]trace.User, c.Users)
+	for i := range users {
+		src := c.userSource(i)
+		// Careers spread across the two years before the snapshot.
+		created := c.Taken.Add(-timeutil.Duration(src.Int64n(int64(2 * 365 * timeutil.Day))))
+		users[i] = trace.User{ID: trace.UserID(i), Name: fmt.Sprintf("u%07d", i), Created: created, Archetype: "dormant"}
+	}
+	return users
+}
+
+// userSource derives user i's private deterministic stream: per-user
+// state is a pure function of (Seed, i), independent of emission
+// order, so a sharded consumer could regenerate any user in isolation.
+func (c StreamConfig) userSource(i int) *randx.Source {
+	return randx.New(c.Seed ^ (uint64(i+1) * 0x9e3779b97f4a7c15))
+}
+
+// StreamSnapshot generates the snapshot one entry at a time, in
+// strictly ascending path order, and hands each to emit; a non-nil
+// error from emit aborts the stream. Returns the number of entries
+// emitted. Memory use is O(1): one user's generator state, one path
+// buffer.
+func StreamSnapshot(cfg StreamConfig, emit func(trace.SnapshotEntry) error) (int, error) {
+	cfg = cfg.Defaults()
+	if cfg.Users <= 0 || cfg.MeanFiles <= 0 {
+		return 0, fmt.Errorf("synth: non-positive stream scale (users=%d, mean files=%d)", cfg.Users, cfg.MeanFiles)
+	}
+	// proj is a single unpadded digit; past 8 the path order the whole
+	// scheme guarantees would break ("proj10" < "proj2"). 256 mean
+	// files bounds runs at 511 (proj 7), with room to spare.
+	if cfg.MeanFiles > 256 {
+		return 0, fmt.Errorf("synth: mean files %d exceeds the streamed layout's per-user limit of 256", cfg.MeanFiles)
+	}
+	archival := randx.NewWeighted(archivalWeights)
+	year := int64(365 * timeutil.Day)
+	total := 0
+	for u := 0; u < cfg.Users; u++ {
+		src := cfg.userSource(u)
+		nFiles := 1 + src.Intn(2*cfg.MeanFiles-1)
+		// Nested ascending loops keep the user's paths lexicographically
+		// sorted without buffering them: run%04d and out%04d are
+		// zero-padded past any count this generator produces, and users
+		// emit in ID order with fixed-width names, so the global stream
+		// is sorted too.
+		for run, written := 0, 0; written < nFiles; run++ {
+			outs := 1 + src.Intn(8)
+			for o := 0; o < outs && written < nFiles; o++ {
+				size, stripes := synthFile(src, archival)
+				e := trace.SnapshotEntry{
+					Path:    fmt.Sprintf("/lustre/atlas/u%07d/proj%d/run%04d/out%04d.dat", u, run>>6, run&63, o),
+					User:    trace.UserID(u),
+					Size:    size,
+					Stripes: stripes,
+					ATime:   cfg.Taken.Add(-timeutil.Duration(src.Int64n(year))),
+				}
+				if err := emit(e); err != nil {
+					return total, err
+				}
+				written++
+				total++
+			}
+		}
+	}
+	return total, nil
+}

@@ -1024,14 +1024,16 @@ func LoadDatasetWith(dir string, opts ReadOptions) (*Dataset, *DatasetReport, er
 			return fr, e
 		}})
 	}
-	files = append(files, loadFile{SnapshotFile, func(r io.Reader, hint int) (*ParseReport, error) {
-		s, fr, e := readSnapshotWithHint(r, idx, opts, hint)
-		if e != nil {
-			return fr, e
-		}
-		d.Snapshot = *s
-		return fr, nil
-	}})
+	if !opts.SkipSnapshot {
+		files = append(files, loadFile{SnapshotFile, func(r io.Reader, hint int) (*ParseReport, error) {
+			s, fr, e := readSnapshotWithHint(r, idx, opts, hint)
+			if e != nil {
+				return fr, e
+			}
+			d.Snapshot = *s
+			return fr, nil
+		}})
+	}
 	reps := make([]*ParseReport, len(files))
 	errs := make([]error, len(files))
 	loadOne := func(i int) {

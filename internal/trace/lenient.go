@@ -35,6 +35,12 @@ type ReadOptions struct {
 	// tests enforce it — so this exists for A/B benchmarking and as a
 	// fallback, like retention's LegacySelection.
 	Sequential bool
+	// SkipSnapshot leaves the metadata snapshot unread: Dataset.Snapshot
+	// stays zero and the caller supplies the initial file-system state
+	// some other way (e.g. a binary snapfile opened through the vfs
+	// package). The snapshot TSV is by far the largest dataset file, so
+	// skipping its parse is what makes snapfile-backed startup O(1).
+	SkipSnapshot bool
 }
 
 // DefaultMaxErrors is the lenient-mode quarantine cap when

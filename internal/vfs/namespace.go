@@ -1,0 +1,52 @@
+package vfs
+
+import (
+	"activedr/internal/obs"
+	"activedr/internal/timeutil"
+	"activedr/internal/trace"
+)
+
+// Namespace is the virtual-file-system surface the replay emulator and
+// the retention policies program against. Two implementations exist:
+// *FS, the single compact prefix tree, and *Sharded, which splits the
+// namespace across per-user-hash shards so mutation and scan work can
+// proceed shard-parallel (sharded.go). Every method honors the same
+// contracts as the *FS documentation states them — in particular the
+// lexicographic "system order" of Walk/WalkPrefix/Snapshot and the
+// (ATime, Path) ascending order of StaleFiles — so the two are
+// interchangeable bit-for-bit in reports and checkpoints.
+type Namespace interface {
+	Insert(path string, m FileMeta) error
+	Lookup(path string) (FileMeta, bool)
+	Contains(path string) bool
+	Touch(path string, at timeutil.Time) bool
+	Remove(path string) (FileMeta, bool)
+	RemoveCandidate(c Candidate) (FileMeta, bool)
+	Users() []trace.UserID
+	StaleFiles(u trace.UserID, cutoff timeutil.Time) []Candidate
+	AppendStaleFiles(dst []Candidate, u trace.UserID, cutoff timeutil.Time) []Candidate
+	Count() int
+	TotalBytes() int64
+	UserBytes(u trace.UserID) int64
+	UserFiles(u trace.UserID) int64
+	Walk(fn func(path string, m FileMeta) bool)
+	WalkPrefix(prefix string, fn func(path string, m FileMeta) bool)
+	FilesByUser() map[trace.UserID][]string
+	Snapshot(taken timeutil.Time) *trace.Snapshot
+	// CloneNS deep-copies the namespace for an independent replay or a
+	// planner dry run. A *FS clones to a *FS, a *Sharded to a *Sharded
+	// with the same shard count.
+	CloneNS() Namespace
+	SetProbe(p obs.VFSProbe)
+	TrackDirty()
+	TakeDirty() []string
+}
+
+// CloneNS implements Namespace for *FS callers that only know the
+// interface; internal callers keep the concretely-typed Clone.
+func (f *FS) CloneNS() Namespace { return f.Clone() }
+
+var (
+	_ Namespace = (*FS)(nil)
+	_ Namespace = (*Sharded)(nil)
+)

@@ -1,0 +1,572 @@
+package vfs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"activedr/internal/obs"
+	"activedr/internal/timeutil"
+	"activedr/internal/trace"
+)
+
+// Sharded splits the namespace across per-user-hash shards, each a
+// private *FS owning its subtree, candidate index and accounting, so
+// mutation and scan work can proceed shard-parallel without a global
+// lock (each shard is goroutine-owned: callers partition work by
+// shardOf and never touch a shard from two goroutines at once).
+//
+// Routing is a pure function of the path: an FNV-1a hash of the first
+// userPrefixDepth components (the user-directory prefix, e.g.
+// "/lustre/atlas/u00042"), so all of a user's files normally land in
+// one shard and per-user candidate scans stay single-shard.
+// Correctness never depends on that locality — per-user reads consult
+// every shard holding index entries for the user and k-way-merge the
+// results — it only makes the common case cheap.
+//
+// Every read that promises an order merges the per-shard streams:
+// Walk/WalkPrefix/Snapshot k-way-merge shard iterators by path to
+// preserve the lexicographic "system order", and AppendStaleFiles
+// merges per-shard candidate runs by (ATime, Path). A Sharded is
+// therefore bit-identical to a single *FS in reports and checkpoints;
+// the equivalence suite in sharded_test.go and internal/sim pins it.
+type Sharded struct {
+	shards []*FS
+	probe  obs.VFSProbe
+	// tracking mirrors the shards' dirty-set state so TakeDirty can
+	// distinguish "tracking off" (nil) from "no mutations" (empty).
+	tracking bool
+	// scratch buffers for multi-shard stale merges, one per shard,
+	// reused across queries.
+	scratch [][]Candidate
+}
+
+// userPrefixDepth is the number of leading path components hashed to
+// route a path to its shard. Three components cover the conventional
+// /<fs>/<center>/<user> scratch layout, so one user's namespace maps
+// to one shard.
+const userPrefixDepth = 3
+
+// MaxShards bounds the shard count; beyond the core counts this
+// targets, more shards only fragment the per-shard indexes.
+const MaxShards = 256
+
+// NewSharded returns an empty namespace split across n shards.
+// n == 1 is a valid degenerate configuration (one shard, no merging
+// overhead beyond a bounds check).
+func NewSharded(n int) (*Sharded, error) {
+	if n < 1 || n > MaxShards {
+		return nil, fmt.Errorf("vfs: shard count %d out of range [1,%d]", n, MaxShards)
+	}
+	s := &Sharded{shards: make([]*FS, n), scratch: make([][]Candidate, n)}
+	for i := range s.shards {
+		s.shards[i] = New()
+	}
+	return s, nil
+}
+
+// ShardFS splits an existing namespace (a private FS or a lane view)
+// across n shards. The walk hands files over in ascending path order,
+// so every shard's candidate index is populated exactly as a
+// from-scratch sharded build would populate it.
+func ShardFS(base *FS, n int) (*Sharded, error) {
+	s, err := NewSharded(n)
+	if err != nil {
+		return nil, err
+	}
+	base.Walk(func(path string, m FileMeta) bool {
+		_ = s.shard(path).Insert(path, m) // paths validated on original entry
+		return true
+	})
+	return s, nil
+}
+
+// ShardedOver wraps pre-built per-shard namespaces (the multiplexed
+// runner routes one LaneGroup per shard and wraps each lane's views).
+// The caller owns the routing discipline: shards[i] must hold exactly
+// the paths ShardIndex maps to i.
+func ShardedOver(shards []*FS) (*Sharded, error) {
+	if len(shards) < 1 || len(shards) > MaxShards {
+		return nil, fmt.Errorf("vfs: shard count %d out of range [1,%d]", len(shards), MaxShards)
+	}
+	return &Sharded{shards: shards, scratch: make([][]Candidate, len(shards))}, nil
+}
+
+// Shards returns the shard count.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// Shard exposes shard i for callers that partition work themselves
+// (the sharded batched replay applies each shard's runs on its own
+// goroutine through this handle).
+func (s *Sharded) Shard(i int) *FS { return s.shards[i] }
+
+// shardPrefixLen returns the length of path's routing prefix: up to
+// and excluding the slash that ends component userPrefixDepth.
+func shardPrefixLen(path string) int {
+	slashes := 0
+	for i := 0; i < len(path); i++ {
+		if path[i] == '/' {
+			slashes++
+			if slashes == userPrefixDepth+1 {
+				return i
+			}
+		}
+	}
+	return len(path)
+}
+
+// ShardIndex routes a path to its shard: FNV-1a over the routing
+// prefix, reduced modulo the shard count. Exported so feed builders
+// can partition path ids once instead of re-hashing per event.
+func ShardIndex(path string, n int) int {
+	if n == 1 {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	end := shardPrefixLen(path)
+	for i := 0; i < end; i++ {
+		h = (h ^ uint64(path[i])) * prime64
+	}
+	return int(h % uint64(n))
+}
+
+func (s *Sharded) shard(path string) *FS { return s.shards[ShardIndex(path, len(s.shards))] }
+
+// SetProbe installs the probe on every shard (per-file counters fire
+// once per routed operation, so totals match a single FS) and keeps a
+// copy for the Sharded-level counters (StaleQueries fires once per
+// query here, never per shard consulted).
+func (s *Sharded) SetProbe(p obs.VFSProbe) {
+	s.probe = p
+	for _, sh := range s.shards {
+		sh.SetProbe(p)
+	}
+}
+
+// Insert routes to the owning shard.
+func (s *Sharded) Insert(path string, m FileMeta) error {
+	if len(path) == 0 || path[0] != '/' {
+		return fmt.Errorf("vfs: path %q is not absolute", path)
+	}
+	return s.shard(path).Insert(path, m)
+}
+
+// Lookup routes to the owning shard.
+func (s *Sharded) Lookup(path string) (FileMeta, bool) {
+	if len(path) == 0 || path[0] != '/' {
+		return FileMeta{}, false
+	}
+	return s.shard(path).Lookup(path)
+}
+
+// Contains reports whether path holds a file.
+func (s *Sharded) Contains(path string) bool {
+	_, ok := s.Lookup(path)
+	return ok
+}
+
+// Touch routes to the owning shard.
+func (s *Sharded) Touch(path string, at timeutil.Time) bool {
+	return s.shard(path).Touch(path, at)
+}
+
+// Remove routes to the owning shard.
+func (s *Sharded) Remove(path string) (FileMeta, bool) {
+	if len(path) == 0 || path[0] != '/' {
+		return FileMeta{}, false
+	}
+	return s.shard(path).Remove(path)
+}
+
+// RemoveCandidate routes to the owning shard, keeping the node hint.
+func (s *Sharded) RemoveCandidate(c Candidate) (FileMeta, bool) {
+	if len(c.Path) == 0 || c.Path[0] != '/' {
+		return FileMeta{}, false
+	}
+	return s.shard(c.Path).RemoveCandidate(c)
+}
+
+// Users merges the per-shard sorted user lists (deduplicating users
+// whose files straddle shards) into one ascending list — the same
+// deterministic purge-scan order a single FS reports.
+func (s *Sharded) Users() []trace.UserID {
+	if len(s.shards) == 1 {
+		return s.shards[0].Users()
+	}
+	lists := make([][]trace.UserID, len(s.shards))
+	total := 0
+	for i, sh := range s.shards {
+		lists[i] = sh.Users()
+		total += len(lists[i])
+	}
+	out := make([]trace.UserID, 0, total)
+	for {
+		best := -1
+		var bu trace.UserID
+		for i, l := range lists {
+			if len(l) > 0 && (best < 0 || l[0] < bu) {
+				best, bu = i, l[0]
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		if len(out) == 0 || out[len(out)-1] != bu {
+			out = append(out, bu)
+		}
+		lists[best] = lists[best][1:]
+	}
+}
+
+// StaleFiles returns u's live files with ATime < cutoff in (ATime,
+// Path) ascending order.
+func (s *Sharded) StaleFiles(u trace.UserID, cutoff timeutil.Time) []Candidate {
+	return s.AppendStaleFiles(nil, u, cutoff)
+}
+
+// AppendStaleFiles merges the owning shards' candidate streams. The
+// prefix routing puts all of a user's files in one shard in the
+// common case, so the peek below usually finds a single source and
+// the scan degenerates to that shard's (already (ATime, Path) sorted)
+// emission with no copy. Cross-shard users pay one parallel scan per
+// holding shard plus a k-way merge.
+func (s *Sharded) AppendStaleFiles(dst []Candidate, u trace.UserID, cutoff timeutil.Time) []Candidate {
+	s.probe.StaleQueries.Inc()
+	if len(s.shards) == 1 {
+		return s.shards[0].appendStale(dst, u, cutoff)
+	}
+	var hold []int
+	for i, sh := range s.shards {
+		if sh.hasStaleSource(u) {
+			hold = append(hold, i)
+		}
+	}
+	switch len(hold) {
+	case 0:
+		return dst
+	case 1:
+		return s.shards[hold[0]].appendStale(dst, u, cutoff)
+	}
+	// Scan the holding shards concurrently — each goroutine owns its
+	// shard (scans compact that shard's buckets) and its scratch slot.
+	var wg sync.WaitGroup
+	for _, i := range hold {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s.scratch[i] = s.shards[i].appendStale(s.scratch[i][:0], u, cutoff)
+		}(i)
+	}
+	wg.Wait()
+	heads := make([][]Candidate, 0, len(hold))
+	for _, i := range hold {
+		if len(s.scratch[i]) > 0 {
+			heads = append(heads, s.scratch[i])
+		}
+	}
+	for {
+		best := -1
+		for i, h := range heads {
+			if len(h) == 0 {
+				continue
+			}
+			if best < 0 || candBefore(&h[0], &heads[best][0]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return dst
+		}
+		dst = append(dst, heads[best][0])
+		heads[best] = heads[best][1:]
+	}
+}
+
+// candBefore is the selection contract order: ATime, then Path.
+func candBefore(a, b *Candidate) bool {
+	if a.Meta.ATime != b.Meta.ATime {
+		return a.Meta.ATime < b.Meta.ATime
+	}
+	return a.Path < b.Path
+}
+
+// Count sums the shard file counts.
+func (s *Sharded) Count() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Count()
+	}
+	return n
+}
+
+// TotalBytes sums the shard byte totals.
+func (s *Sharded) TotalBytes() int64 {
+	var b int64
+	for _, sh := range s.shards {
+		b += sh.TotalBytes()
+	}
+	return b
+}
+
+// UserBytes sums u's bytes across shards.
+func (s *Sharded) UserBytes(u trace.UserID) int64 {
+	var b int64
+	for _, sh := range s.shards {
+		b += sh.UserBytes(u)
+	}
+	return b
+}
+
+// UserFiles sums u's file count across shards.
+func (s *Sharded) UserFiles(u trace.UserID) int64 {
+	var n int64
+	for _, sh := range s.shards {
+		n += sh.UserFiles(u)
+	}
+	return n
+}
+
+// Walk k-way-merges the shard iterators by path, preserving the
+// lexicographic system order across the whole namespace.
+func (s *Sharded) Walk(fn func(path string, m FileMeta) bool) {
+	if len(s.shards) == 1 {
+		s.shards[0].Walk(fn)
+		return
+	}
+	iters := make([]*fsIter, 0, len(s.shards))
+	for _, sh := range s.shards {
+		it := newFSIter(sh)
+		if it.next() {
+			iters = append(iters, it)
+		}
+	}
+	mergeIters(iters, fn)
+}
+
+// WalkPrefix positions an iterator at prefix in every shard and
+// merges; shards without the prefix contribute nothing.
+func (s *Sharded) WalkPrefix(prefix string, fn func(path string, m FileMeta) bool) {
+	if len(s.shards) == 1 {
+		s.shards[0].WalkPrefix(prefix, fn)
+		return
+	}
+	iters := make([]*fsIter, 0, len(s.shards))
+	for _, sh := range s.shards {
+		it := newFSIterPrefix(sh, prefix)
+		if it != nil && it.next() {
+			iters = append(iters, it)
+		}
+	}
+	mergeIters(iters, fn)
+}
+
+// mergeIters drains positioned iterators in ascending path order.
+// Every path lives in exactly one shard, so ties cannot occur.
+func mergeIters(iters []*fsIter, fn func(path string, m FileMeta) bool) {
+	for len(iters) > 0 {
+		best := 0
+		for i := 1; i < len(iters); i++ {
+			if strings.Compare(iters[i].path, iters[best].path) < 0 {
+				best = i
+			}
+		}
+		it := iters[best]
+		if !fn(it.path, it.meta) {
+			return
+		}
+		if !it.next() {
+			iters[best] = iters[len(iters)-1]
+			iters = iters[:len(iters)-1]
+		}
+	}
+}
+
+// FilesByUser buckets every path by owner; each bucket preserves the
+// merged lexicographic order, matching a single FS walk.
+func (s *Sharded) FilesByUser() map[trace.UserID][]string {
+	out := make(map[trace.UserID][]string)
+	s.Walk(func(path string, m FileMeta) bool {
+		out[m.User] = append(out[m.User], path)
+		return true
+	})
+	return out
+}
+
+// Snapshot exports the merged state as a metadata snapshot; entries
+// come out in the same path order a single FS emits.
+func (s *Sharded) Snapshot(taken timeutil.Time) *trace.Snapshot {
+	snap := &trace.Snapshot{Taken: taken}
+	snap.Entries = make([]trace.SnapshotEntry, 0, s.Count())
+	s.Walk(func(path string, m FileMeta) bool {
+		snap.Entries = append(snap.Entries, trace.SnapshotEntry{
+			Path: path, User: m.User, Size: m.Size, Stripes: m.Stripes, ATime: m.ATime,
+		})
+		return true
+	})
+	return snap
+}
+
+// CloneNS deep-copies every shard. Cloning a Sharded over lane views
+// materializes each view as a private shard FS, mirroring FS.Clone.
+func (s *Sharded) CloneNS() Namespace {
+	c := &Sharded{
+		shards:   make([]*FS, len(s.shards)),
+		tracking: false,
+		scratch:  make([][]Candidate, len(s.shards)),
+	}
+	for i, sh := range s.shards {
+		c.shards[i] = sh.Clone()
+	}
+	return c
+}
+
+// Stats sums the per-shard tree footprints. Shard roots are counted
+// once each, so Nodes across shard counts differ by the extra roots;
+// Files and LabelBytes are invariant.
+func (s *Sharded) Stats() Stats {
+	var st Stats
+	for _, sh := range s.shards {
+		t := sh.Stats()
+		st.Files += t.Files
+		st.Nodes += t.Nodes
+		st.LabelBytes += t.LabelBytes
+	}
+	return st
+}
+
+// TrackDirty begins delta-checkpoint dirty tracking on every shard.
+func (s *Sharded) TrackDirty() {
+	s.tracking = true
+	for _, sh := range s.shards {
+		sh.TrackDirty()
+	}
+}
+
+// TakeDirty merges the per-shard dirty sets into one sorted list, or
+// nil when tracking is off — the same contract FS.TakeDirty keeps.
+func (s *Sharded) TakeDirty() []string {
+	if !s.tracking {
+		return nil
+	}
+	lists := make([][]string, 0, len(s.shards))
+	total := 0
+	for _, sh := range s.shards {
+		l := sh.TakeDirty()
+		total += len(l)
+		if len(l) > 0 {
+			lists = append(lists, l)
+		}
+	}
+	out := make([]string, 0, total)
+	for {
+		best := -1
+		for i, l := range lists {
+			if len(l) > 0 && (best < 0 || l[0] < lists[best][0]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		out = append(out, lists[best][0])
+		lists[best] = lists[best][1:]
+	}
+}
+
+// hasStaleSource reports whether this shard holds index entries (live
+// or tombstoned) for u — a cheap peek with no false negatives, used
+// to find the shards worth scanning.
+func (f *FS) hasStaleSource(u trace.UserID) bool {
+	if f.index[u] != nil {
+		return true
+	}
+	return f.extra != nil && f.extra[u] != nil
+}
+
+// fsIter is a pull-model iterator over one FS's terminal records in
+// lexicographic order — the per-shard leg of a merged walk. It leans
+// on the interned record paths, so iteration allocates only the
+// frame stack. Lane views filter dropped records and substitute
+// override metadata exactly like laneWalkRecords.
+type fsIter struct {
+	f     *FS
+	stack []iterFrame
+	path  string
+	meta  FileMeta
+}
+
+type iterFrame struct {
+	n *rnode[fileRecord]
+	// ci is the next child to descend into; -1 marks a node not yet
+	// visited (its own terminal record not yet emitted).
+	ci int
+}
+
+func newFSIter(f *FS) *fsIter {
+	it := &fsIter{f: f}
+	it.stack = append(it.stack, iterFrame{n: f.tree.root, ci: -1})
+	return it
+}
+
+// newFSIterPrefix positions an iterator on the subtree holding every
+// path starting with prefix, mirroring FS.WalkPrefix's descent. Nil
+// when the shard holds nothing under prefix.
+func newFSIterPrefix(f *FS, prefix string) *fsIter {
+	n := f.tree.root
+	rest := prefix
+	for rest != "" {
+		i, ok := n.childIndex(rest[0])
+		if !ok {
+			return nil
+		}
+		child := n.children[i]
+		cp := commonPrefixLen(rest, child.label)
+		if cp == len(rest) {
+			n = child
+			rest = ""
+			break
+		}
+		if cp < len(child.label) {
+			return nil // diverged: nothing under prefix
+		}
+		rest = rest[cp:]
+		n = child
+	}
+	it := &fsIter{f: f}
+	it.stack = append(it.stack, iterFrame{n: n, ci: -1})
+	return it
+}
+
+// next advances to the next visible terminal record, reporting
+// whether one was found; it.path/it.meta hold the record.
+func (it *fsIter) next() bool {
+	for len(it.stack) > 0 {
+		top := &it.stack[len(it.stack)-1]
+		if top.ci < 0 {
+			top.ci = 0
+			n := top.n
+			if n.terminal {
+				if it.f.group == nil {
+					it.path, it.meta = n.value.path, n.value.meta
+					return true
+				}
+				if n.value.dropped&it.f.laneBit == 0 {
+					it.path, it.meta = n.value.path, it.f.laneMeta(&n.value)
+					return true
+				}
+			}
+		}
+		if top.ci < len(top.n.children) {
+			child := top.n.children[top.ci]
+			top.ci++
+			it.stack = append(it.stack, iterFrame{n: child, ci: -1})
+			continue
+		}
+		it.stack = it.stack[:len(it.stack)-1]
+	}
+	return false
+}

@@ -1,0 +1,259 @@
+package vfs
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"activedr/internal/obs"
+	"activedr/internal/timeutil"
+	"activedr/internal/trace"
+)
+
+func TestShardIndex(t *testing.T) {
+	if got := ShardIndex("/lustre/atlas/u00001/p/f", 1); got != 0 {
+		t.Fatalf("n=1 -> %d", got)
+	}
+	// Same user prefix, different tails: must land on the same shard.
+	a := ShardIndex("/lustre/atlas/u00001/proj0/a.dat", 16)
+	b := ShardIndex("/lustre/atlas/u00001/proj9/deep/b.dat", 16)
+	if a != b {
+		t.Fatalf("same-user paths split: %d vs %d", a, b)
+	}
+	// Short paths (fewer components than the prefix depth) hash whole.
+	if got := ShardIndex("/a", 16); got < 0 || got >= 16 {
+		t.Fatalf("short path shard %d out of range", got)
+	}
+	// Distinct users should spread (not all on one shard).
+	seen := map[int]bool{}
+	for u := 0; u < 64; u++ {
+		seen[ShardIndex(fmt.Sprintf("/lustre/atlas/u%05d/p/f", u), 16)] = true
+	}
+	if len(seen) < 8 {
+		t.Fatalf("64 users landed on only %d of 16 shards", len(seen))
+	}
+}
+
+func TestNewShardedValidation(t *testing.T) {
+	for _, n := range []int{0, -1, MaxShards + 1} {
+		if _, err := NewSharded(n); err == nil {
+			t.Fatalf("NewSharded(%d) accepted", n)
+		}
+	}
+	s, err := NewSharded(4)
+	if err != nil || s.Shards() != 4 {
+		t.Fatalf("NewSharded(4): %v", err)
+	}
+}
+
+// TestShardedEquivalence drives an identical randomized operation
+// sequence through a single FS and Sharded views at several shard
+// counts, requiring observable equality throughout: lookups, walks,
+// stale scans, users, accounting, snapshots, dirty sets, and probe
+// counters.
+func TestShardedEquivalence(t *testing.T) {
+	for _, shards := range []int{1, 4, 16} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(977 + shards)))
+			single := New()
+			sharded, err := NewSharded(shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sp, shp obs.VFSProbe
+			sp = obs.VFSProbe{Inserts: &obs.Counter{}, Removes: &obs.Counter{}, Touches: &obs.Counter{}, TouchMisses: &obs.Counter{}, StaleQueries: &obs.Counter{}}
+			shp = obs.VFSProbe{Inserts: &obs.Counter{}, Removes: &obs.Counter{}, Touches: &obs.Counter{}, TouchMisses: &obs.Counter{}, StaleQueries: &obs.Counter{}}
+			single.SetProbe(sp)
+			sharded.SetProbe(shp)
+			single.TrackDirty()
+			sharded.TrackDirty()
+
+			paths := make([]string, 0, 200)
+			for u := 0; u < 12; u++ {
+				for i := 0; i < 9; i++ {
+					paths = append(paths, fmt.Sprintf("/lustre/atlas/u%05d/proj%d/out%04d.dat", u, i%2, i))
+				}
+			}
+			userOf := func(p string) trace.UserID {
+				var u int
+				fmt.Sscanf(p, "/lustre/atlas/u%05d/", &u)
+				return trace.UserID(u)
+			}
+			check := func(step int) {
+				t.Helper()
+				requireSameNamespace(t, single, sharded, timeutil.Time(1<<40))
+				w, g := single.TakeDirty(), sharded.TakeDirty()
+				if len(w) != len(g) {
+					t.Fatalf("step %d: dirty %d vs %d", step, len(g), len(w))
+				}
+				for i := range w {
+					if w[i] != g[i] {
+						t.Fatalf("step %d: dirty[%d] %q vs %q", step, i, g[i], w[i])
+					}
+				}
+				if sp.Inserts.Value() != shp.Inserts.Value() ||
+					sp.Removes.Value() != shp.Removes.Value() ||
+					sp.Touches.Value() != shp.Touches.Value() ||
+					sp.TouchMisses.Value() != shp.TouchMisses.Value() ||
+					sp.StaleQueries.Value() != shp.StaleQueries.Value() {
+					t.Fatalf("step %d: probe counters diverge", step)
+				}
+			}
+			for step := 0; step < 600; step++ {
+				p := paths[rng.Intn(len(paths))]
+				at := timeutil.Time(int64(rng.Intn(400)) * 86400)
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3:
+					m := FileMeta{User: userOf(p), Size: int64(rng.Intn(1000)), Stripes: 1, ATime: at}
+					if err := single.Insert(p, m); err != nil {
+						t.Fatal(err)
+					}
+					if err := sharded.Insert(p, m); err != nil {
+						t.Fatal(err)
+					}
+				case 4, 5, 6:
+					a := single.Touch(p, at)
+					b := sharded.Touch(p, at)
+					if a != b {
+						t.Fatalf("step %d: touch %q: %v vs %v", step, p, a, b)
+					}
+				case 7:
+					am, aok := single.Remove(p)
+					bm, bok := sharded.Remove(p)
+					if aok != bok || am != bm {
+						t.Fatalf("step %d: remove %q diverges", step, p)
+					}
+				case 8:
+					u := userOf(p)
+					cutoff := timeutil.Time(int64(rng.Intn(400)) * 86400)
+					wc := single.StaleFiles(u, cutoff)
+					gc := sharded.StaleFiles(u, cutoff)
+					if len(wc) != len(gc) {
+						t.Fatalf("step %d: stale %d vs %d", step, len(gc), len(wc))
+					}
+					for j := range wc {
+						if wc[j].Path != gc[j].Path || wc[j].Meta != gc[j].Meta {
+							t.Fatalf("step %d: stale[%d] diverges", step, j)
+						}
+						// Purge through RemoveCandidate on both sides
+						// occasionally, preserving lockstep.
+						if rng.Intn(4) == 0 {
+							am, aok := single.RemoveCandidate(wc[j])
+							bm, bok := sharded.RemoveCandidate(gc[j])
+							if aok != bok || am != bm {
+								t.Fatalf("step %d: remove-candidate diverges", step)
+							}
+						}
+					}
+				case 9:
+					am, aok := single.Lookup(p)
+					bm, bok := sharded.Lookup(p)
+					if aok != bok || am != bm {
+						t.Fatalf("step %d: lookup diverges", step)
+					}
+					if single.Contains(p) != sharded.Contains(p) {
+						t.Fatalf("step %d: contains diverges", step)
+					}
+				}
+				if step%97 == 0 {
+					check(step)
+				}
+			}
+			check(-1)
+
+			// Clones stay equivalent and detached from the originals.
+			sc, gc := single.CloneNS(), sharded.CloneNS()
+			single.Insert("/lustre/atlas/u00000/proj0/post-clone.dat", FileMeta{User: 0, Size: 1, Stripes: 1, ATime: 1})
+			sharded.Insert("/lustre/atlas/u00000/proj0/post-clone.dat", FileMeta{User: 0, Size: 1, Stripes: 1, ATime: 1})
+			requireSameNamespace(t, sc, gc, timeutil.Time(1<<40))
+			if sc.Count() == single.Count() {
+				t.Fatal("clone tracked origin mutation")
+			}
+		})
+	}
+}
+
+// TestShardFS partitions an existing tree and requires the sharded
+// view to reproduce it exactly, including WalkPrefix windows.
+func TestShardFS(t *testing.T) {
+	s := snapFixture(11, 7)
+	base, err := FromSnapshot(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 4, 16} {
+		sh, err := ShardFS(base, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameNamespace(t, base, sh, s.Taken)
+		for _, prefix := range []string{"/lustre/atlas/u00003/", "/lustre/", "/nope/", "/lustre/atlas/u00007/proj1/"} {
+			var w, g []string
+			base.WalkPrefix(prefix, func(p string, _ FileMeta) bool { w = append(w, p); return true })
+			sh.WalkPrefix(prefix, func(p string, _ FileMeta) bool { g = append(g, p); return true })
+			if len(w) != len(g) {
+				t.Fatalf("n=%d prefix %q: %d vs %d", n, prefix, len(g), len(w))
+			}
+			for i := range w {
+				if w[i] != g[i] {
+					t.Fatalf("n=%d prefix %q: [%d] %q vs %q", n, prefix, i, g[i], w[i])
+				}
+			}
+		}
+		// Early-stop walks must terminate after the same visit count.
+		wn, gn := 0, 0
+		base.Walk(func(string, FileMeta) bool { wn++; return wn < 10 })
+		sh.Walk(func(string, FileMeta) bool { gn++; return gn < 10 })
+		if wn != gn {
+			t.Fatalf("n=%d early stop %d vs %d", n, gn, wn)
+		}
+	}
+}
+
+// TestShardedOverLaneViews covers the multiplexed-replay shape: one
+// LaneGroup per shard, a Sharded stitched over the lane-i views, read
+// operations matching a single-tree lane view.
+func TestShardedOverLaneViews(t *testing.T) {
+	s := snapFixture(8, 6)
+	base, err := FromSnapshot(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lanes = 3
+	wholeGroup, err := NewLaneGroup(base.Clone(), lanes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shards = 4
+	shardBases, err := ShardFS(base, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := make([]*LaneGroup, shards)
+	for i := 0; i < shards; i++ {
+		groups[i], err = NewLaneGroup(shardBases.Shard(i), lanes, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Diverge lane 1 on both sides with identical operations.
+	victim := s.Entries[len(s.Entries)/2].Path
+	if _, ok := wholeGroup.Lane(1).Remove(victim); !ok {
+		t.Fatalf("remove %q missed", victim)
+	}
+	si := ShardIndex(victim, shards)
+	if _, ok := groups[si].Lane(1).Remove(victim); !ok {
+		t.Fatalf("sharded remove %q missed", victim)
+	}
+	for li := 0; li < lanes; li++ {
+		laneShards := make([]*FS, shards)
+		for i := 0; i < shards; i++ {
+			laneShards[i] = groups[i].Lane(li)
+		}
+		stitched, err := ShardedOver(laneShards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameNamespace(t, wholeGroup.Lane(li), stitched, s.Taken)
+	}
+}

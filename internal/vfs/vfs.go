@@ -420,6 +420,13 @@ func (f *FS) StaleFiles(u trace.UserID, cutoff timeutil.Time) []Candidate {
 // index footprint stays proportional to the live file count.
 func (f *FS) AppendStaleFiles(dst []Candidate, u trace.UserID, cutoff timeutil.Time) []Candidate {
 	f.probe.StaleQueries.Inc()
+	return f.appendStale(dst, u, cutoff)
+}
+
+// appendStale is AppendStaleFiles without the query counter: the
+// sharded wrapper counts once per logical query, then fans out to the
+// holding shards through this entry point.
+func (f *FS) appendStale(dst []Candidate, u trace.UserID, cutoff timeutil.Time) []Candidate {
 	if f.group == nil {
 		return f.appendStaleScan(dst, f.index[u], u, cutoff, stalePrivate)
 	}
