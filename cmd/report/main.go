@@ -8,6 +8,7 @@
 //	report -fig 6          # one figure
 //	report -data ./data    # use a tracegen dataset
 //	report -o results.txt  # write to a file
+//	report -data ./real -fig workload  # real-trace reconstruction scenario
 //	report -events e.jsonl # per-trigger summary of a telemetry stream
 package main
 
@@ -29,6 +30,7 @@ import (
 var figNames = map[string]bool{
 	"all": true, "t1": true, "1": true, "5": true, "6": true, "7": true,
 	"8": true, "9": true, "10": true, "11": true, "12": true, "ablation": true,
+	"workload": true,
 }
 
 // options carries every flag; validate fail-fasts on garbage before
@@ -52,7 +54,7 @@ func parseFlags() *options {
 	flag.StringVar(&o.data, "data", "", "dataset directory (empty = generate synthetic)")
 	flag.IntVar(&o.users, "users", 2000, "synthetic user count (when -data is empty)")
 	flag.Uint64Var(&o.seed, "seed", 0, "synthetic seed (when -data is empty)")
-	flag.StringVar(&o.fig, "fig", "all", "figure/table to render: all, t1, 1, 5, 6, 7, 8, 9, 10, 11, 12, ablation")
+	flag.StringVar(&o.fig, "fig", "all", "figure/table to render: all, t1, 1, 5, 6, 7, 8, 9, 10, 11, 12, ablation, workload")
 	flag.StringVar(&o.out, "o", "", "output file (empty = stdout)")
 	flag.IntVar(&o.ranks, "ranks", 4, "parallel ranks for the replay sweep and Figure 12")
 	flag.BoolVar(&o.lenient, "lenient", false, "quarantine malformed trace lines instead of aborting")
@@ -65,7 +67,7 @@ func parseFlags() *options {
 
 func (o *options) validate() error {
 	if !figNames[o.fig] {
-		return fmt.Errorf("unknown -fig %q (want all, t1, 1, 5, 6, 7, 8, 9, 10, 11, 12, or ablation)", o.fig)
+		return fmt.Errorf("unknown -fig %q (want all, t1, 1, 5, 6, 7, 8, 9, 10, 11, 12, ablation, or workload)", o.fig)
 	}
 	if o.users < 1 {
 		return fmt.Errorf("-users must be >= 1, got %d", o.users)
@@ -222,6 +224,19 @@ func render(s *experiments.Suite, fig string, w io.Writer, ranks int) error {
 		r.Render(w)
 	case "ablation":
 		r, err := s.Ablation()
+		if err != nil {
+			return err
+		}
+		r.Render(w)
+	case "workload":
+		// The upscale replays go through the out-of-core snapfile path;
+		// the snapfiles themselves are scratch.
+		snapDir, err := os.MkdirTemp("", "report-workload-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(snapDir)
+		r, err := s.WorkloadScenario(experiments.WorkloadScenarioConfig{SnapDir: snapDir})
 		if err != nil {
 			return err
 		}

@@ -200,6 +200,9 @@ func (o *options) validate() error {
 	if o.multiplex && o.faultKill != "" {
 		return errors.New("-fault-kill is not supported with -multiplex (a kill tears down the shared pass, leaving the lanes at different trigger depths)")
 	}
+	if o.vfsSnap != "" && o.vfsSnap == o.vfsSnapOut {
+		return errors.New("-vfs-snapshot and -vfs-snapshot-out name the same file; the rewrite would clobber the snapfile being read")
+	}
 	if !(o.auditSample >= 0 && o.auditSample <= 1) {
 		return fmt.Errorf("-audit-sample must be in [0,1], got %v", o.auditSample)
 	}
@@ -511,6 +514,17 @@ func openSnapfileBase(o *options, ds *trace.Dataset, out io.Writer) (*vfs.FS, er
 }
 
 func loadDataset(o *options, out io.Writer) (*trace.Dataset, error) {
+	// -vfs-snapshot replaces the dataset's snapshot TSV as the namespace
+	// source. When both exist the snapfile wins — say so out loud rather
+	// than silently skipping a file the user shipped alongside the
+	// traces and may believe is being honored.
+	if o.vfsSnap != "" {
+		tsv := filepath.Join(o.data, trace.SnapshotFile)
+		if _, statErr := os.Stat(tsv); statErr == nil {
+			fmt.Fprintf(out, "warning: -vfs-snapshot %s overrides the dataset snapshot %s; the TSV will not be parsed\n",
+				o.vfsSnap, tsv)
+		}
+	}
 	ropts := trace.ReadOptions{Lenient: o.lenient, MaxErrors: o.maxErrors, Sequential: o.sequential,
 		SkipSnapshot: o.vfsSnap != ""}
 	var inj *faults.Injector

@@ -53,6 +53,9 @@ func TestParseFlagsValidation(t *testing.T) {
 		{"sample without events", []string{"-audit-sample", "0.5"}, "-audit-sample requires -events-out"},
 		{"multiplex resume", []string{"-multiplex", "-checkpoint-dir", "ck", "-resume"}, "-resume is not supported with -multiplex"},
 		{"multiplex kill", []string{"-multiplex", "-checkpoint-dir", "ck", "-fault-kill", "sim.checkpoint.published:2"}, "-fault-kill is not supported with -multiplex"},
+		{"snapfile in and out differ", []string{"-vfs-snapshot", "a.snap", "-vfs-snapshot-out", "b.snap"}, ""},
+		{"snapfile out only", []string{"-vfs-snapshot-out", "a.snap"}, ""},
+		{"snapfile in equals out", []string{"-vfs-snapshot", "a.snap", "-vfs-snapshot-out", "a.snap"}, "name the same file"},
 		{"unknown flag", []string{"-bogus"}, "flag provided but not defined"},
 	}
 	for _, tc := range cases {
@@ -226,5 +229,74 @@ func TestRunMultiplexMatchesSequential(t *testing.T) {
 	seq, mux := runWith(false), runWith(true)
 	if seq != mux {
 		t.Fatalf("multiplexed transcript diverges from sequential:\n--- sequential\n%s\n--- multiplexed\n%s", seq, mux)
+	}
+}
+
+// TestSnapshotSourcePrecedence pins the -vfs-snapshot vs snapshot-TSV
+// precedence: when both sources are present the snapfile wins, and the
+// tool must say so on the console instead of silently skipping the TSV
+// (the old behavior). When the dataset has no snapshot TSV there is no
+// conflict and no warning.
+func TestSnapshotSourcePrecedence(t *testing.T) {
+	ds, err := synth.Generate(synth.Config{Seed: 5, Users: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	data := filepath.Join(dir, "data")
+	if err := trace.WriteDataset(data, ds); err != nil {
+		t.Fatal(err)
+	}
+	base := func() *options {
+		return &options{
+			data:      data,
+			lifetime:  90,
+			interval:  7,
+			target:    0.5,
+			maxErrors: trace.DefaultMaxErrors,
+			ckptEvery: 1,
+			faultSeed: 1,
+		}
+	}
+
+	// First run: write the snapfile from the TSV snapshot.
+	snap := filepath.Join(dir, "fs.snap")
+	o := base()
+	o.vfsSnapOut = snap
+	var console strings.Builder
+	if err := run(o, &console); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(console.String(), "warning:") {
+		t.Fatalf("snapfile-write run warned without a conflict:\n%s", console.String())
+	}
+
+	// Both sources present: the snapfile must win, loudly.
+	o = base()
+	o.vfsSnap = snap
+	console.Reset()
+	if err := run(o, &console); err != nil {
+		t.Fatal(err)
+	}
+	got := console.String()
+	if !strings.Contains(got, "warning:") || !strings.Contains(got, "overrides the dataset snapshot") {
+		t.Fatalf("no precedence warning with both sources present:\n%s", got)
+	}
+	if !strings.Contains(got, "opened snapfile") {
+		t.Fatalf("snapfile was not the namespace source:\n%s", got)
+	}
+
+	// Snapfile only (TSV removed): same replay, no warning.
+	if err := os.Remove(filepath.Join(data, trace.SnapshotFile)); err != nil {
+		t.Fatal(err)
+	}
+	o = base()
+	o.vfsSnap = snap
+	console.Reset()
+	if err := run(o, &console); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(console.String(), "warning:") {
+		t.Fatalf("warned with no snapshot TSV present:\n%s", console.String())
 	}
 }

@@ -2,9 +2,12 @@ package main
 
 import (
 	"io"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"activedr/internal/trace"
 )
 
 func TestParseFlagsValidation(t *testing.T) {
@@ -19,6 +22,14 @@ func TestParseFlagsValidation(t *testing.T) {
 		{"zero users", []string{"-users", "0"}, "-users must be >= 1"},
 		{"negative users", []string{"-users", "-3"}, "-users must be >= 1"},
 		{"unknown flag", []string{"-bogus"}, "flag provided but not defined"},
+		{"in2p3 with fit", []string{"-from-in2p3", "jobs.csv", "-fit", "m.json"}, ""},
+		{"model with scale", []string{"-model", "m.json", "-scale", "10"}, ""},
+		{"preset and in2p3", []string{"-preset", "spider", "-from-in2p3", "j.csv"}, "mutually exclusive"},
+		{"in2p3 and model", []string{"-from-in2p3", "j.csv", "-model", "m.json"}, "mutually exclusive"},
+		{"fit without in2p3", []string{"-fit", "m.json"}, "-fit requires -from-in2p3"},
+		{"scale without model", []string{"-scale", "5"}, "-scale requires -model"},
+		{"zero scale", []string{"-model", "m.json", "-scale", "0"}, "-scale must be >= 1"},
+		{"lenient without in2p3", []string{"-lenient"}, "-lenient requires -from-in2p3"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -53,5 +64,60 @@ func TestRunWritesDataset(t *testing.T) {
 	}
 	if m, _ := filepath.Glob(filepath.Join(dir, "*")); len(m) == 0 {
 		t.Fatal("no dataset files written")
+	}
+}
+
+// TestRunIN2P3FitRegen drives the full adapt -> fit -> regen loop
+// through the command surface: adapt the bundled IN2P3 sample, fit a
+// model, regenerate at 2x into a snapfile, and check the outputs land.
+func TestRunIN2P3FitRegen(t *testing.T) {
+	dir := t.TempDir()
+	sample := filepath.Join("..", "..", "internal", "workload", "testdata", "in2p3_sample.csv")
+	model := filepath.Join(dir, "model.json")
+	var out strings.Builder
+	o, err := parseFlags([]string{
+		"-out", filepath.Join(dir, "real"),
+		"-from-in2p3", sample,
+		"-fit", model,
+		"-seed", "7",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(o, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fitted 12-user model") {
+		t.Fatalf("summary %q does not mention the fitted model", out.String())
+	}
+
+	snap := filepath.Join(dir, "big.snap")
+	out.Reset()
+	o, err = parseFlags([]string{
+		"-out", filepath.Join(dir, "big"),
+		"-model", model,
+		"-scale", "2",
+		"-seed", "7",
+		"-vfs-snapshot-out", snap,
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(o, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "regenerated") || !strings.Contains(out.String(), "24 users") {
+		t.Fatalf("summary %q does not report the 2x regeneration", out.String())
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("snapfile not written: %v", err)
+	}
+	// The scaled dataset must load cleanly with the snapshot left out.
+	ds, err := trace.LoadDataset(filepath.Join(dir, "big"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Users) != 24 {
+		t.Fatalf("regenerated dataset has %d users, want 24", len(ds.Users))
 	}
 }

@@ -29,6 +29,10 @@ var deterministicPkgs = []string{
 	// the multiplexed runner; its tables and figure data must be as
 	// bit-stable as the replays behind them.
 	"internal/experiments",
+	// Adapter, fit, and regeneration must give bit-identical datasets
+	// for a given seed — the reconstruction-fidelity acceptance and the
+	// streamed/materialized snapshot equivalence both depend on it.
+	"internal/workload",
 }
 
 // nondetFuncs are the time package functions that read the wall

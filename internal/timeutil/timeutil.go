@@ -61,8 +61,10 @@ func (t Time) Before(u Time) bool { return t < u }
 // After reports whether t is strictly later than u.
 func (t Time) After(u Time) bool { return t > u }
 
-// DayIndex returns the number of whole days since the epoch.
-func (t Time) DayIndex() int { return int(int64(t) / int64(Day)) }
+// DayIndex returns the number of whole days since the epoch. Floor
+// division keeps it consistent with StartOfDay (and vfs's atime-day
+// buckets) for pre-epoch times: DayIndex(-1s) is -1, not 0.
+func (t Time) DayIndex() int { return int(int64(t.StartOfDay()) / int64(Day)) }
 
 // StartOfDay truncates t to midnight UTC.
 func (t Time) StartOfDay() Time {

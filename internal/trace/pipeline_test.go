@@ -306,7 +306,7 @@ func TestPipelinedEdgeInputs(t *testing.T) {
 		"\n",
 		"\r\n",
 		"#only a comment\n",
-		"u000\t1",             // no trailing newline
+		"u000\t1",                  // no trailing newline
 		"u000\t1\r\n\r\nu000\t2\r", // CRLF endings, trailing CR
 		"\t\n",
 		strings.Repeat("u000\t7\n", 100000), // multi-block
@@ -577,6 +577,141 @@ func TestFanOutErrorPriority(t *testing.T) {
 		}
 		if accRep == nil || !accRep.Truncated {
 			t.Fatalf("accesses salvage report lost or unflagged: %+v", accRep)
+		}
+	})
+}
+
+// TestPipelinedMultiMemberGzip pins quarantine line numbers across
+// concatenated gzip members. gzip allows a file to be several complete
+// deflate streams back to back (the standard output of `cat a.gz b.gz`
+// or a rotated-and-joined log); Go's gzip.Reader splices them into one
+// logical stream by default. Line numbers in ParseReports must be
+// absolute positions in that logical stream — an assembler or scanner
+// that restarted its count at a member boundary would report
+// relative-to-member numbers, and nothing before this test would have
+// caught it because every other fixture is a single member.
+func TestPipelinedMultiMemberGzip(t *testing.T) {
+	const perMember = 8000 // ~400KiB decompressed per member, spans pipeline blocks
+	build := func(t *testing.T, members []map[int]string, truncateLast bool) (string, []int, int) {
+		t.Helper()
+		dir := t.TempDir()
+		if err := WriteDataset(dir, sampleDataset()); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		line := 0
+		var wantBad []int
+		for mi, badAt := range members {
+			start := buf.Len()
+			gz := gzip.NewWriter(&buf)
+			for i := 0; i < perMember; i++ {
+				line++
+				if junk, ok := badAt[i]; ok {
+					fmt.Fprintf(gz, "%s\n", junk)
+					wantBad = append(wantBad, line)
+				} else {
+					fmt.Fprintf(gz, "%d\tu000\t0\t5\t/lustre/atlas/u000/mm%06d.dat\n", line, line)
+				}
+			}
+			if err := gz.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if truncateLast && mi == len(members)-1 {
+				buf.Truncate(start + (buf.Len()-start)/2)
+			}
+		}
+		if err := os.WriteFile(filepath.Join(dir, AccessesFile), buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return dir, wantBad, line
+	}
+
+	t.Run("absolute line numbers", func(t *testing.T) {
+		// Bad lines at a member's first row, its last row, and mid-member,
+		// all in members ≥ 2 so every expected number exceeds perMember —
+		// a per-member reset would be off by a full member's line count.
+		dir, wantBad, total := build(t, []map[int]string{
+			{},
+			{0: "garbage-first-of-member-2", 100: "short", perMember - 1: "garbage-last-of-member-2"},
+			{123: "x\tu000\t0\t5\t/p"},
+		}, false)
+		d, rep, err := loadBoth(t, dir, ReadOptions{Lenient: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var accRep *ParseReport
+		for _, r := range rep.Reports {
+			if r.File == AccessesFile {
+				accRep = r
+			}
+		}
+		if accRep == nil {
+			t.Fatal("no accesses report")
+		}
+		if accRep.Lines != total {
+			t.Fatalf("Lines = %d, want %d across all members", accRep.Lines, total)
+		}
+		if len(accRep.Errors) != len(wantBad) {
+			t.Fatalf("quarantined %d lines, want %d: %+v", len(accRep.Errors), len(wantBad), accRep.Errors)
+		}
+		for i, e := range accRep.Errors {
+			if e.Line != wantBad[i] {
+				t.Errorf("quarantine %d at line %d, want absolute line %d (member-relative reset?)", i, e.Line, wantBad[i])
+			}
+		}
+		if want := total - len(wantBad); len(d.Accesses) != want {
+			t.Fatalf("salvaged %d accesses, want %d", len(d.Accesses), want)
+		}
+		// Strict mode must abort with the same absolute position: the
+		// first bad line is the first row of member 2.
+		_, _, err = loadBoth(t, dir, ReadOptions{})
+		if err == nil {
+			t.Fatal("strict load accepted multi-member damage")
+		}
+		if want := fmt.Sprintf("line %d:", perMember+1); !strings.Contains(err.Error(), want) {
+			t.Fatalf("strict err = %v, want it positioned at %q", err, want)
+		}
+	})
+
+	t.Run("truncated final member", func(t *testing.T) {
+		// A cut-short last member must not disturb the absolute numbers
+		// of quarantines in earlier members, and the salvage must keep
+		// every full line that made it through the inflate.
+		dir, wantBad, _ := build(t, []map[int]string{
+			{},
+			{4321: "mid-member-2-garbage"},
+			{},
+		}, true)
+		d, rep, err := loadBoth(t, dir, ReadOptions{Lenient: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var accRep *ParseReport
+		for _, r := range rep.Reports {
+			if r.File == AccessesFile {
+				accRep = r
+			}
+		}
+		if accRep == nil || !accRep.Truncated {
+			t.Fatalf("truncated final member not reported: %+v", accRep)
+		}
+		// Exactly the member-2 quarantine at its absolute line, plus at
+		// most one extra: the inflate's final partial line at the cut
+		// point, which the salvage quarantines as malformed before
+		// flagging truncation. That fragment must sit inside the
+		// truncated member — an earlier number would mean the count
+		// reset at a member boundary.
+		if len(accRep.Errors) < 1 || accRep.Errors[0].Line != wantBad[0] {
+			t.Fatalf("quarantines = %+v, want the first at absolute line %d", accRep.Errors, wantBad[0])
+		}
+		if len(accRep.Errors) > 2 {
+			t.Fatalf("quarantines = %+v, want at most the member-2 line and the cut fragment", accRep.Errors)
+		}
+		if len(accRep.Errors) == 2 && accRep.Errors[1].Line <= perMember*2 {
+			t.Fatalf("cut-fragment quarantine at line %d, inside a fully-salvaged member", accRep.Errors[1].Line)
+		}
+		if len(d.Accesses) < perMember*2-1 || len(d.Accesses) >= perMember*3 {
+			t.Fatalf("salvaged %d accesses, want the two full members plus a strict prefix of the third", len(d.Accesses))
 		}
 	})
 }

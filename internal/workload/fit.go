@@ -1,0 +1,216 @@
+package workload
+
+// Fitting: compress a loaded trace into the Model. One pass over the
+// dataset groups records per user; internal/stats does the moment and
+// quantile work.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"activedr/internal/stats"
+	"activedr/internal/timeutil"
+	"activedr/internal/trace"
+)
+
+// maxStrata bounds the per-user age sketch. Eight equal-count bands
+// keep the model small while pinning the joint age/mass structure
+// tightly enough for the retention policies (whose behavior is a
+// function of age bands, not individual files).
+const maxStrata = 8
+
+// Fit fits the workload model to a dataset. The dataset must be
+// valid; the trace window is [Snapshot.Taken, last event].
+func Fit(ds *trace.Dataset) (*Model, error) {
+	if len(ds.Users) == 0 {
+		return nil, fmt.Errorf("workload: cannot fit an empty user table")
+	}
+	taken := ds.Snapshot.Taken
+	end := taken
+	for i := range ds.Jobs {
+		if t := ds.Jobs[i].Submit.Add(ds.Jobs[i].Duration); t.After(end) {
+			end = t
+		}
+	}
+	if n := len(ds.Accesses); n > 0 && ds.Accesses[n-1].TS.After(end) {
+		end = ds.Accesses[n-1].TS
+	}
+	spanDays := int(end.Sub(taken) / timeutil.Day)
+	if spanDays < 1 {
+		spanDays = 1
+	}
+	weeks := (spanDays + 6) / 7
+
+	m := &Model{Version: ModelVersion, Taken: taken, SpanDays: spanDays,
+		Users: make([]UserModel, len(ds.Users))}
+	for i := range ds.Users {
+		m.Users[i].Name = ds.Users[i].Name
+	}
+
+	// Jobs: per-user cadence.
+	type weekAgg struct {
+		jobs      int
+		coreHours float64
+	}
+	type jobAgg struct {
+		weeks     map[int]weekAgg
+		cores     stats.Summary
+		durationH stats.Summary
+		n         int
+	}
+	jobs := make([]jobAgg, len(ds.Users))
+	for i := range ds.Jobs {
+		j := &ds.Jobs[i]
+		a := &jobs[j.User]
+		if a.weeks == nil {
+			a.weeks = map[int]weekAgg{}
+		}
+		w := int(j.Submit.Sub(taken) / timeutil.Week)
+		wa := a.weeks[w]
+		wa.jobs++
+		wa.coreHours += j.CoreHours()
+		a.weeks[w] = wa
+		a.cores.Add(float64(j.Cores))
+		a.durationH.Add(float64(j.Duration) / float64(timeutil.Hour))
+		a.n++
+	}
+
+	// Accesses: touches, creates, inter-access gaps.
+	type accAgg struct {
+		n, creates   int
+		createdBytes int64
+		lastTS       timeutil.Time
+		gapsDays     []float64
+	}
+	accs := make([]accAgg, len(ds.Users))
+	accessedPaths := make(map[string]bool, len(ds.Accesses))
+	// Per-file last-access times, seeded from the snapshot atimes, feed
+	// the per-file re-read gap histogram.
+	fileLast := make(map[string]timeutil.Time, len(ds.Snapshot.Entries)+len(ds.Accesses))
+	for i := range ds.Snapshot.Entries {
+		fileLast[ds.Snapshot.Entries[i].Path] = ds.Snapshot.Entries[i].ATime
+	}
+	gapHists := make([][NumGapBuckets]GapBucket, len(ds.Users))
+	for i := range ds.Accesses {
+		a := &ds.Accesses[i]
+		if !a.Create {
+			accessedPaths[a.Path] = true
+			if last, ok := fileLast[a.Path]; ok {
+				gapDays := float64(a.TS.Sub(last)) / float64(timeutil.Day)
+				if gapDays < 0 {
+					gapDays = 0
+				}
+				b := gapBucket(gapDays)
+				gapHists[a.User][b].Count++
+				gapHists[a.User][b].Bytes += a.Size
+			}
+		}
+		fileLast[a.Path] = a.TS
+		g := &accs[a.User]
+		if g.n > 0 {
+			g.gapsDays = append(g.gapsDays, float64(a.TS.Sub(g.lastTS))/float64(timeutil.Day))
+		}
+		g.lastTS = a.TS
+		g.n++
+		if a.Create {
+			g.creates++
+			g.createdBytes += a.Size
+		}
+	}
+
+	// Snapshot: per-user strata over files sorted by age.
+	type snapFile struct {
+		ageDays float64
+		size    int64
+		stripes int
+		touched bool
+	}
+	snaps := make([][]snapFile, len(ds.Users))
+	for i := range ds.Snapshot.Entries {
+		e := &ds.Snapshot.Entries[i]
+		age := float64(taken.Sub(e.ATime)) / float64(timeutil.Day)
+		if age < 0 {
+			age = 0
+		}
+		snaps[e.User] = append(snaps[e.User], snapFile{ageDays: age, size: e.Size,
+			stripes: e.Stripes, touched: accessedPaths[e.Path]})
+	}
+
+	for u := range m.Users {
+		um := &m.Users[u]
+		ja := &jobs[u]
+		if ja.n > 0 {
+			active := len(ja.weeks)
+			um.ActiveWeekFrac = float64(active) / float64(weeks)
+			if um.ActiveWeekFrac > 1 {
+				um.ActiveWeekFrac = 1
+			}
+			for w, wa := range ja.weeks {
+				if w >= 0 && w < weeks {
+					um.Cadence = append(um.Cadence, WeekActivity{Week: w, Jobs: wa.jobs, CoreHours: wa.coreHours})
+				}
+			}
+			sort.Slice(um.Cadence, func(a, b int) bool { return um.Cadence[a].Week < um.Cadence[b].Week })
+			um.JobsPerActiveWeek = float64(ja.n) / float64(active)
+			um.MeanCores = ja.cores.Mean()
+			um.MeanDurationH = ja.durationH.Mean()
+			um.TouchesPerJob = float64(accs[u].n) / float64(ja.n)
+		}
+		if accs[u].n > 0 {
+			um.CreateFrac = float64(accs[u].creates) / float64(accs[u].n)
+			um.CreatedBytes = accs[u].createdBytes
+		}
+		if gaps := accs[u].gapsDays; len(gaps) > 0 {
+			sort.Float64s(gaps)
+			um.GapP50Days = stats.Quantile(gaps, 0.5)
+			um.GapP90Days = stats.Quantile(gaps, 0.9)
+		}
+		for _, b := range gapHists[u] {
+			if b.Count > 0 {
+				um.GapHist = append([]GapBucket(nil), gapHists[u][:]...)
+				break
+			}
+		}
+
+		files := snaps[u]
+		sort.Slice(files, func(i, j int) bool { return files[i].ageDays < files[j].ageDays })
+		var stripes stats.Summary
+		for _, f := range files {
+			stripes.Add(float64(f.stripes))
+		}
+		if len(files) > 0 {
+			um.MeanStripes = stripes.Mean()
+		}
+		nStrata := maxStrata
+		if len(files) < nStrata {
+			nStrata = len(files)
+		}
+		for s := 0; s < nStrata; s++ {
+			lo := s * len(files) / nStrata
+			hi := (s + 1) * len(files) / nStrata
+			st := Stratum{Count: hi - lo,
+				AgeLoDays: files[lo].ageDays, AgeHiDays: files[hi-1].ageDays}
+			for _, f := range files[lo:hi] {
+				st.Bytes += f.size
+				if f.touched {
+					st.TouchedCount++
+					st.TouchedBytes += f.size
+				}
+			}
+			um.Strata = append(um.Strata, st)
+		}
+		// NaN guards: a user with no jobs or files fits as all-zero,
+		// which Regen treats as dormant-with-nothing.
+		for _, v := range []*float64{&um.ActiveWeekFrac, &um.JobsPerActiveWeek, &um.MeanCores,
+			&um.MeanDurationH, &um.TouchesPerJob, &um.CreateFrac, &um.MeanStripes} {
+			if math.IsNaN(*v) || math.IsInf(*v, 0) {
+				*v = 0
+			}
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

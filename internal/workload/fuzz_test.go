@@ -1,0 +1,53 @@
+package workload
+
+// Fuzzing for the adapter's record parser: whatever bytes a facility
+// export throws at it, parseIN2P3Record must never panic, and any
+// record it accepts must satisfy the invariants the synthesis layer
+// assumes.
+
+import (
+	"strings"
+	"testing"
+
+	"activedr/internal/timeutil"
+)
+
+func FuzzIN2P3Record(f *testing.F) {
+	zone, err := timeutil.LoadZone(DefaultZone)
+	if err != nil {
+		f.Fatal(err)
+	}
+	header := "job_id,user,group,submit_time,start_time,end_time,cores,status"
+	cols, err := parseIN2P3Header(splitRecord(header, ','))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add("100001,in2p3u001,atlas,2024-01-12 06:18:58,2024-01-12 07:48:44,2024-01-12 22:35:44,34,completed")
+	f.Add("1,u,,2024-03-31 02:30:00,,2024-03-31 05:00:00,1,")
+	f.Add("1,u,g,,2024-10-27 02:30:00,2024-10-27 06:00:00,8,x")
+	f.Add("x,,,,,,")
+	f.Add("1,u,g,9999-12-31 23:59:59,,9999-12-31 23:59:59,1048576,")
+	f.Add("1,u,g,2024-01-01T00:00:00,2024-01-01,2024-01-02 00:00,3,ok")
+	f.Add("1,\x00\xff,g,2024-01-01 00:00:00,,2024-01-01 01:00:00,2,")
+	f.Fuzz(func(t *testing.T, line string) {
+		if strings.ContainsAny(line, "\n\r") {
+			return // the line splitter owns newlines; the parser sees single rows
+		}
+		rec, err := parseIN2P3Record(splitRecord(line, ','), cols, zone)
+		if err != nil {
+			return
+		}
+		if rec.user == "" {
+			t.Fatalf("accepted record with empty user: %q", line)
+		}
+		if rec.cores < 1 || rec.cores > 1<<20 {
+			t.Fatalf("accepted cores %d out of range: %q", rec.cores, line)
+		}
+		if rec.end.Before(rec.start) || rec.start.Before(rec.submit) {
+			t.Fatalf("accepted out-of-order times: %q", line)
+		}
+		if rec.end.Sub(rec.start) > 370*timeutil.Day {
+			t.Fatalf("accepted implausible duration: %q", line)
+		}
+	})
+}

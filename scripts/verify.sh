@@ -10,6 +10,8 @@
 #   4. vetadr -suppressions                 (stale rule / empty reason)
 #   5. README rule catalogue in sync        (scripts/update-rule-catalogue.sh -check)
 #   6. go test -race                        (-quick: go test -short, no race)
+#   7. workload smoke: IN2P3 adapt + fit + 2x upscale replay, scenario
+#      report into out/workload-report.txt
 #
 # Usage:
 #   scripts/verify.sh          # the full gate, what CI runs
@@ -50,5 +52,18 @@ else
     step "go test -race"
     go test -race ./...
 fi
+
+step "workload smoke (IN2P3 adapt + fit + 2x upscale + scenario report)"
+mkdir -p out
+smoke="$(mktemp -d)"
+trap 'rm -rf "$smoke"' EXIT
+go run ./cmd/tracegen -out "$smoke/real" -seed 7 \
+    -from-in2p3 internal/workload/testdata/in2p3_sample.csv -fit "$smoke/model.json"
+go run ./cmd/tracegen -out "$smoke/big" -seed 7 \
+    -model "$smoke/model.json" -scale 2 -vfs-snapshot-out "$smoke/big.snap"
+go run ./cmd/simulate -data "$smoke/big" -vfs-snapshot "$smoke/big.snap" \
+    -lifetime 90 -interval 7 -target 0.5 -shards 4 >/dev/null
+go run ./cmd/report -data "$smoke/real" -fig workload -o out/workload-report.txt
+grep -q 'regen 10x' out/workload-report.txt
 
 printf '\nverify: OK\n'
